@@ -1,0 +1,79 @@
+//! Microbenchmarks for the memory controller: steady-state scheduling
+//! throughput of each policy under mixed MEM+PIM pressure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimsim_core::{policy::PolicyKind, MemoryController};
+use pimsim_dram::AddressMapper;
+use pimsim_types::{
+    AppId, PhysAddr, PimCommand, PimOpKind, Request, RequestId, RequestKind, SystemConfig,
+};
+
+/// Feeds the controller a steady mix of MEM (row-friendly) and PIM
+/// (block-structured) requests for `cycles` DRAM cycles.
+fn drive(policy: PolicyKind, cycles: u64) -> u64 {
+    let cfg = SystemConfig::default();
+    let mapper = AddressMapper::new(&cfg.addr_map, &cfg.dram, cfg.dram_word_bytes());
+    let mut mc = MemoryController::new(&cfg, policy.build());
+    let mut id = 0u64;
+    let mut mem_addr = 0u64;
+    let mut pim_op = 0u64;
+    let mut served = 0u64;
+    for now in 0..cycles {
+        // Two MEM arrivals and two PIM arrivals per cycle, queue permitting.
+        for _ in 0..2 {
+            if mc.can_accept(false) {
+                let req = Request::new(
+                    RequestId(id),
+                    AppId::GPU,
+                    RequestKind::MemRead,
+                    PhysAddr(mem_addr),
+                    0,
+                    now,
+                );
+                // Walk words within a channel-0-mapped stream.
+                mem_addr += 0x2000;
+                mc.enqueue(req, mapper.decode(req.addr), now);
+                id += 1;
+            }
+            if mc.can_accept(true) {
+                let block = pim_op / 16;
+                let cmd = PimCommand {
+                    op: PimOpKind::RfLoad,
+                    channel: 0,
+                    row: (block % 512) as u32,
+                    col: (pim_op % 16) as u16,
+                    rf_entry: (pim_op % 8) as u8,
+                    block_start: pim_op.is_multiple_of(16),
+                    block_id: block,
+                };
+                let req = Request::new(
+                    RequestId(id),
+                    AppId::PIM,
+                    RequestKind::Pim(cmd),
+                    PhysAddr(pim_op << 5),
+                    0,
+                    now,
+                );
+                mc.enqueue(req, Default::default(), now);
+                id += 1;
+                pim_op += 1;
+            }
+        }
+        mc.step(now);
+        served += mc.pop_completions(now).len() as u64;
+    }
+    served
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mc_policies_4k_cycles");
+    for policy in PolicyKind::all() {
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| black_box(drive(policy, 4_000)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

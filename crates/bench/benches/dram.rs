@@ -1,0 +1,94 @@
+//! Microbenchmarks for the DRAM substrate: address decoding and command
+//! issue throughput (row-hit streaming vs. conflict-heavy vs. PIM
+//! lock-step).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimsim_dram::{AddressMapper, Channel, DramCommand};
+use pimsim_types::{AddressMapConfig, DramConfig, DramTiming, PhysAddr, SystemConfig};
+
+fn bench_mapper(c: &mut Criterion) {
+    let cfg = SystemConfig::default();
+    let table1 = AddressMapper::new(&cfg.addr_map, &cfg.dram, 32);
+    let ipoly = AddressMapper::new(&AddressMapConfig::IPolyHash, &cfg.dram, 32);
+    let mut g = c.benchmark_group("address_mapper");
+    g.bench_function("decode_table1", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x9e37_79b9_7f4a_7c15) & ((1 << 40) - 1);
+            black_box(table1.decode(PhysAddr(a)))
+        })
+    });
+    g.bench_function("decode_ipoly", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x9e37_79b9_7f4a_7c15) & ((1 << 40) - 1);
+            black_box(ipoly.decode(PhysAddr(a)))
+        })
+    });
+    g.finish();
+}
+
+/// Issues `cmd` at the first legal cycle at or after `*now`.
+fn issue_when_ready(ch: &mut Channel, cmd: DramCommand, now: &mut u64) {
+    while !ch.can_issue(cmd, *now) {
+        *now += 1;
+    }
+    ch.issue(cmd, *now);
+}
+
+fn run_stream(ch: &mut Channel, reads: u64, same_row: bool) -> u64 {
+    let mut now = 0u64;
+    let mut row = 0u32;
+    ch.issue(DramCommand::Act { bank: 0, row }, now);
+    for i in 0..reads {
+        if !same_row && i > 0 && i % 4 == 0 {
+            // Force a conflict every fourth access.
+            now += 1;
+            issue_when_ready(ch, DramCommand::Pre { bank: 0 }, &mut now);
+            row += 1;
+            now += 1;
+            issue_when_ready(ch, DramCommand::Act { bank: 0, row }, &mut now);
+        }
+        now += 1;
+        issue_when_ready(ch, DramCommand::Read { bank: 0 }, &mut now);
+    }
+    now
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let dram = DramConfig::default();
+    let timing = DramTiming::default();
+    let mut g = c.benchmark_group("dram_channel");
+    g.bench_function("row_hit_stream_64", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(&dram, &timing);
+            black_box(run_stream(&mut ch, 64, true))
+        })
+    });
+    g.bench_function("conflict_stream_64", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(&dram, &timing);
+            black_box(run_stream(&mut ch, 64, false))
+        })
+    });
+    g.bench_function("pim_block_64", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(&dram, &timing);
+            let mut now = 0u64;
+            ch.issue(DramCommand::PimActAll { row: 0 }, now);
+            let mut done = 0;
+            while done < 64 {
+                now += 1;
+                if ch.can_issue(DramCommand::PimOp { writes_row: false }, now) {
+                    ch.issue(DramCommand::PimOp { writes_row: false }, now);
+                    done += 1;
+                }
+            }
+            black_box(now)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapper, bench_channel);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end benchmark: a small competitive co-execution through the full
+//! system (SMs → crossbar → L2 → MC → HBM), per policy. This measures
+//! simulator throughput, not architecture performance — useful for keeping
+//! the figure sweeps fast.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimsim_core::policy::PolicyKind;
+use pimsim_sim::Runner;
+use pimsim_types::SystemConfig;
+use pimsim_workloads::{gpu_kernel, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark};
+
+fn coexec(policy: PolicyKind) -> u64 {
+    let mut runner = Runner::new(SystemConfig::default(), policy);
+    runner.max_gpu_cycles = 4_000_000;
+    let out = runner.coexec(
+        Box::new(gpu_kernel(GpuBenchmark(8), 72, 0.02)),
+        Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, 0.02)),
+        true,
+    );
+    out.total_cycles
+}
+
+fn bench_coexec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coexec_small");
+    g.sample_size(10);
+    for policy in [
+        PolicyKind::FrFcfs,
+        PolicyKind::FrRrFcfs,
+        PolicyKind::f3fs_competitive(),
+    ] {
+        g.bench_function(policy.label(), |b| b.iter(|| black_box(coexec(policy))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_coexec);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--scale <f64>` — workload scale (default 0.2; 1.0 = the largest
+//!   footprints the fast sweep was tuned for).
+//! * `--budget <u64>` — per-simulation GPU-cycle budget (default 6M).
+//! * `--quick` — restrict sweeps to a representative kernel subset.
+//!
+//! Output is aligned text (the paper's artifact plots the same series with
+//! matplotlib; we print the rows so they can be diffed).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pimsim_types::SystemConfig;
+
+/// Common command-line options for figure binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Per-simulation GPU-cycle budget.
+    pub budget: u64,
+    /// Use a reduced kernel subset.
+    pub quick: bool,
+    /// Optional path to also dump raw sweep points as CSV.
+    pub csv: Option<std::path::PathBuf>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: 0.2,
+            budget: 6_000_000,
+            quick: false,
+            csv: None,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    args.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a positive number"));
+                }
+                "--budget" => {
+                    args.budget = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--budget needs an integer"));
+                }
+                "--quick" => args.quick = true,
+                "--csv" => {
+                    args.csv = Some(std::path::PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--csv needs a path")),
+                    ));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag: {other}")),
+            }
+        }
+        if args.scale <= 0.0 {
+            usage("--scale must be positive");
+        }
+        args
+    }
+
+    /// The Table I system configuration.
+    pub fn system(&self) -> SystemConfig {
+        SystemConfig::default()
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--scale F] [--budget N] [--quick] [--csv FILE]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Writes the raw points of a competitive sweep as CSV (one row per
+/// simulation), for external plotting.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_competitive_csv(
+    path: &std::path::Path,
+    points: &[pimsim_sim::experiments::competitive::CompetitivePoint],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        f,
+        "gpu,pim,policy,vc,mem_speedup,pim_speedup,fairness,throughput,\
+mem_arrival_ratio,switches,conflicts_per_switch,drain_per_switch"
+    )?;
+    for p in points {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            p.gpu.label(),
+            p.pim.label(),
+            p.policy.label(),
+            p.vc.label(),
+            p.mem_speedup,
+            p.pim_speedup,
+            p.fairness,
+            p.throughput,
+            p.mem_arrival_ratio,
+            p.switches,
+            p.conflicts_per_switch,
+            p.drain_per_switch
+        )?;
+    }
+    Ok(())
+}
+
+/// Formats a five-number summary as `min/q1/med/q3/max`.
+pub fn fmt_box(f: pimsim_stats::FiveNumber) -> String {
+    format!(
+        "{:8.2} {:8.2} {:8.2} {:8.2} {:8.2}",
+        f.min, f.q1, f.median, f.q3, f.max
+    )
+}
+
+/// Prints a section header in the style of the figure captions.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = BenchArgs::default();
+        assert!(a.scale > 0.0);
+        assert!(a.budget > 0);
+        assert!(!a.quick);
+        a.system().validate().unwrap();
+    }
+
+    #[test]
+    fn fmt_box_renders_five_numbers() {
+        let s = fmt_box(pimsim_stats::FiveNumber {
+            min: 1.0,
+            q1: 2.0,
+            median: 3.0,
+            q3: 4.0,
+            max: 5.0,
+        });
+        assert!(s.contains("3.00"));
+    }
+}

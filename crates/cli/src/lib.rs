@@ -1,0 +1,516 @@
+//! Command parsing and execution for the `pimsim` command-line driver.
+//!
+//! The CLI runs individual simulations without writing any Rust:
+//!
+//! ```sh
+//! pimsim list
+//! pimsim standalone --gpu G4 --sms 80 --scale 0.3
+//! pimsim standalone --pim P1 --scale 0.3
+//! pimsim coexec --gpu G11 --pim P4 --policy f3fs --mem-cap 32 --pim-cap 32 --vc 2
+//! pimsim collab --policy fr-fcfs --scale 0.3
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pimsim_core::PolicyKind;
+use pimsim_sim::Runner;
+use pimsim_types::{SystemConfig, VcMode};
+use pimsim_workloads::{
+    gpu_kernel, llm_scenario, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark,
+};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List available kernels and policies.
+    List,
+    /// Run one kernel alone.
+    Standalone(RunOpts),
+    /// Competitive co-execution (GPU on 72 SMs, PIM on 8).
+    Coexec(RunOpts),
+    /// Collaborative LLM scenario.
+    Collab(RunOpts),
+}
+
+/// Options shared by the run subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOpts {
+    /// GPU benchmark (e.g. `G4`), if any.
+    pub gpu: Option<GpuBenchmark>,
+    /// PIM benchmark (e.g. `P1`), if any.
+    pub pim: Option<PimBenchmark>,
+    /// SMs for a standalone GPU kernel.
+    pub sms: usize,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Interconnect configuration.
+    pub vc: VcMode,
+    /// Workload scale.
+    pub scale: f64,
+    /// GPU-cycle budget.
+    pub budget: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            gpu: None,
+            pim: None,
+            sms: 80,
+            policy: PolicyKind::f3fs_competitive(),
+            vc: VcMode::Shared,
+            scale: 0.2,
+            budget: 4_000_000,
+        }
+    }
+}
+
+/// Error produced while parsing arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCliError(pub String);
+
+impl std::fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseCliError> {
+    Err(ParseCliError(msg.into()))
+}
+
+/// Parses a benchmark label like `G4` or `g12`.
+pub fn parse_gpu(s: &str) -> Result<GpuBenchmark, ParseCliError> {
+    let upper = s.to_ascii_uppercase();
+    let n: u8 = upper
+        .strip_prefix('G')
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ParseCliError(format!("invalid GPU benchmark: {s} (expected G1..G20)")))?;
+    if (1..=20).contains(&n) {
+        Ok(GpuBenchmark(n))
+    } else {
+        err(format!("GPU benchmark out of range: {s}"))
+    }
+}
+
+/// Parses a benchmark label like `P1`.
+pub fn parse_pim(s: &str) -> Result<PimBenchmark, ParseCliError> {
+    let upper = s.to_ascii_uppercase();
+    let n: u8 = upper
+        .strip_prefix('P')
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ParseCliError(format!("invalid PIM benchmark: {s} (expected P1..P9)")))?;
+    if (1..=9).contains(&n) {
+        Ok(PimBenchmark(n))
+    } else {
+        err(format!("PIM benchmark out of range: {s}"))
+    }
+}
+
+/// Parses a policy name with optional `--mem-cap`/`--pim-cap` applied later.
+pub fn parse_policy(s: &str) -> Result<PolicyKind, ParseCliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "fcfs" => Ok(PolicyKind::Fcfs),
+        "mem-first" | "memfirst" => Ok(PolicyKind::MemFirst),
+        "pim-first" | "pimfirst" => Ok(PolicyKind::PimFirst),
+        "fr-fcfs" | "frfcfs" => Ok(PolicyKind::FrFcfs),
+        "fr-fcfs-cap" | "frfcfscap" => Ok(PolicyKind::FrFcfsCap { cap: 32 }),
+        "bliss" => Ok(PolicyKind::Bliss {
+            threshold: 4,
+            clear_interval: 10_000,
+        }),
+        "fr-rr-fcfs" | "frrrfcfs" => Ok(PolicyKind::FrRrFcfs),
+        "gi" | "g&i" | "gather-issue" => Ok(PolicyKind::GatherIssue { high: 56, low: 32 }),
+        "f3fs" => Ok(PolicyKind::f3fs_competitive()),
+        other => err(format!("unknown policy: {other}")),
+    }
+}
+
+/// Parses the full argument list (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, ParseCliError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return err(USAGE);
+    };
+    match sub.as_str() {
+        "list" => Ok(Command::List),
+        "standalone" | "coexec" | "collab" => {
+            let mut opts = RunOpts::default();
+            let mut mem_cap: Option<u32> = None;
+            let mut pim_cap: Option<u32> = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, ParseCliError> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| ParseCliError(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--gpu" => opts.gpu = Some(parse_gpu(&value("--gpu")?)?),
+                    "--pim" => opts.pim = Some(parse_pim(&value("--pim")?)?),
+                    "--sms" => {
+                        opts.sms = value("--sms")?
+                            .parse()
+                            .map_err(|_| ParseCliError("--sms needs an integer".into()))?
+                    }
+                    "--policy" => opts.policy = parse_policy(&value("--policy")?)?,
+                    "--vc" => {
+                        opts.vc = match value("--vc")?.as_str() {
+                            "1" | "vc1" | "VC1" => VcMode::Shared,
+                            "2" | "vc2" | "VC2" => VcMode::SplitPim,
+                            other => return err(format!("--vc must be 1 or 2, got {other}")),
+                        }
+                    }
+                    "--scale" => {
+                        opts.scale = value("--scale")?
+                            .parse()
+                            .map_err(|_| ParseCliError("--scale needs a number".into()))?
+                    }
+                    "--budget" => {
+                        opts.budget = value("--budget")?
+                            .parse()
+                            .map_err(|_| ParseCliError("--budget needs an integer".into()))?
+                    }
+                    "--mem-cap" => {
+                        mem_cap = Some(value("--mem-cap")?.parse().map_err(|_| {
+                            ParseCliError("--mem-cap needs an integer".into())
+                        })?)
+                    }
+                    "--pim-cap" => {
+                        pim_cap = Some(value("--pim-cap")?.parse().map_err(|_| {
+                            ParseCliError("--pim-cap needs an integer".into())
+                        })?)
+                    }
+                    other => return err(format!("unknown flag: {other}")),
+                }
+            }
+            if opts.scale <= 0.0 {
+                return err("--scale must be positive");
+            }
+            if mem_cap.is_some() || pim_cap.is_some() {
+                let (m, p) = match opts.policy {
+                    PolicyKind::F3fs { mem_cap, pim_cap }
+                    | PolicyKind::F3fsNoModeFirst { mem_cap, pim_cap } => (mem_cap, pim_cap),
+                    _ => return err("--mem-cap/--pim-cap only apply to --policy f3fs"),
+                };
+                opts.policy = PolicyKind::F3fs {
+                    mem_cap: mem_cap.unwrap_or(m),
+                    pim_cap: pim_cap.unwrap_or(p),
+                };
+            }
+            match sub.as_str() {
+                "standalone" => {
+                    if opts.gpu.is_some() == opts.pim.is_some() {
+                        return err("standalone needs exactly one of --gpu or --pim");
+                    }
+                    Ok(Command::Standalone(opts))
+                }
+                "coexec" => {
+                    if opts.gpu.is_none() || opts.pim.is_none() {
+                        return err("coexec needs both --gpu and --pim");
+                    }
+                    Ok(Command::Coexec(opts))
+                }
+                _ => Ok(Command::Collab(opts)),
+            }
+        }
+        other => err(format!("unknown subcommand: {other}\n{USAGE}")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage:
+  pimsim list
+  pimsim standalone (--gpu G<n> [--sms N] | --pim P<n>) [common flags]
+  pimsim coexec --gpu G<n> --pim P<n> [common flags]
+  pimsim collab [common flags]
+common flags:
+  --policy <fcfs|mem-first|pim-first|fr-fcfs|fr-fcfs-cap|bliss|fr-rr-fcfs|gi|f3fs>
+  --mem-cap N --pim-cap N      (f3fs only)
+  --vc <1|2>  --scale F  --budget N";
+
+fn system_for(opts: &RunOpts) -> SystemConfig {
+    let mut system = SystemConfig::default();
+    system.noc.vc_mode = opts.vc;
+    system
+}
+
+fn print_mc_stats(mc: &pimsim_core::McStats) {
+    println!("memory controller:");
+    println!(
+        "  served: {} MEM / {} PIM; switches: {} ({} MEM->PIM)",
+        mc.mem_served, mc.pim_served, mc.switches, mc.switches_mem_to_pim
+    );
+    if let Some(r) = mc.mem_rbhr() {
+        println!("  MEM row-buffer hit rate: {:.1}%", r * 100.0);
+    }
+    if let Some(r) = mc.pim_rbhr() {
+        println!("  PIM row-buffer hit rate: {:.1}%", r * 100.0);
+    }
+    if let Some(b) = mc.avg_blp() {
+        println!("  avg bank-level parallelism: {b:.1}");
+    }
+    for (label, h) in [("MEM", &mc.mem_latency), ("PIM", &mc.pim_latency)] {
+        if h.count() > 0 {
+            println!(
+                "  {label} latency (DRAM cycles): mean {:.0}, p50 {}, p99 {}, max {}",
+                h.mean().unwrap_or(0.0),
+                h.quantile(0.5).unwrap_or(0),
+                h.quantile(0.99).unwrap_or(0),
+                h.max()
+            );
+        }
+    }
+}
+
+/// Executes a parsed command. Returns a process exit code.
+pub fn run(cmd: Command) -> i32 {
+    match cmd {
+        Command::List => {
+            println!("GPU benchmarks (Table II):");
+            for b in GpuBenchmark::all() {
+                println!("  {b}");
+            }
+            println!("PIM benchmarks (Table III):");
+            for b in PimBenchmark::all() {
+                println!("  {b}");
+            }
+            println!("policies: fcfs mem-first pim-first fr-fcfs fr-fcfs-cap bliss fr-rr-fcfs gi f3fs");
+            0
+        }
+        Command::Standalone(opts) => {
+            let system = system_for(&opts);
+            let outstanding = system.gpu.max_outstanding_pim_per_warp as u32;
+            let channels = system.dram.channels;
+            let warps = system.gpu.pim_warps_per_sm;
+            let mut runner = Runner::new(system, opts.policy);
+            runner.max_gpu_cycles = opts.budget;
+            let result = if let Some(g) = opts.gpu {
+                println!("standalone {g} on {} SMs (scale {})", opts.sms, opts.scale);
+                runner.standalone(Box::new(gpu_kernel(g, opts.sms, opts.scale)), 0, false)
+            } else {
+                let p = opts.pim.expect("validated");
+                println!("standalone {p} on {} SMs (scale {})", channels / warps, opts.scale);
+                runner.standalone(
+                    Box::new(pim_kernel(p, channels, warps, outstanding, opts.scale)),
+                    0,
+                    true,
+                )
+            };
+            match result {
+                Ok(out) => {
+                    println!(
+                        "execution time: {} GPU cycles; icnt rate {:.1}/kcyc, DRAM rate {:.1}/kcyc",
+                        out.cycles,
+                        out.icnt_rate(),
+                        out.dram_rate()
+                    );
+                    print_mc_stats(&out.mc);
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Coexec(opts) => {
+            let g = opts.gpu.expect("validated");
+            let p = opts.pim.expect("validated");
+            let system = system_for(&opts);
+            let outstanding = system.gpu.max_outstanding_pim_per_warp as u32;
+            let channels = system.dram.channels;
+            let warps = system.gpu.pim_warps_per_sm;
+            println!(
+                "coexec {g} (72 SMs) + {p} (8 SMs), {} under {} (scale {})",
+                opts.vc,
+                opts.policy,
+                opts.scale
+            );
+            // Standalone baselines for the metrics.
+            let solo = Runner::new(system_for(&opts), PolicyKind::FrFcfs);
+            let ga = match solo.standalone(Box::new(gpu_kernel(g, 80, opts.scale)), 0, false) {
+                Ok(o) => o.cycles,
+                Err(e) => {
+                    eprintln!("error: GPU baseline: {e}");
+                    return 1;
+                }
+            };
+            let pa = match solo.standalone(
+                Box::new(pim_kernel(p, channels, warps, outstanding, opts.scale)),
+                0,
+                true,
+            ) {
+                Ok(o) => o.cycles,
+                Err(e) => {
+                    eprintln!("error: PIM baseline: {e}");
+                    return 1;
+                }
+            };
+            let mut runner = Runner::new(system, opts.policy);
+            runner.max_gpu_cycles = opts.budget;
+            let out = runner.coexec(
+                Box::new(gpu_kernel(g, 72, opts.scale)),
+                Box::new(pim_kernel(p, channels, warps, outstanding, opts.scale)),
+                true,
+            );
+            let m = out.metrics(ga, pa);
+            println!(
+                "first runs: GPU {} cycles{}, PIM {} cycles{}",
+                out.gpu_first_run,
+                if out.gpu_starved { " (STARVED)" } else { "" },
+                out.pim_first_run,
+                if out.pim_starved { " (STARVED)" } else { "" },
+            );
+            println!(
+                "speedups: MEM {:.3}, PIM {:.3}; fairness index {:.3}, system throughput {:.3}",
+                m.mem_speedup,
+                m.pim_speedup,
+                m.fairness_index(),
+                m.system_throughput()
+            );
+            print_mc_stats(&out.mc);
+            0
+        }
+        Command::Collab(opts) => {
+            let system = system_for(&opts);
+            let outstanding = system.gpu.max_outstanding_pim_per_warp as u32;
+            println!(
+                "collaborative LLM (QKV + MHA), {} under {} (scale {})",
+                opts.vc, opts.policy, opts.scale
+            );
+            let solo = Runner::new(system_for(&opts), PolicyKind::FrFcfs);
+            let s = llm_scenario(72, 32, 4, outstanding, opts.scale);
+            let qa = match solo.standalone(Box::new(s.qkv), 8, false) {
+                Ok(o) => o.cycles,
+                Err(e) => {
+                    eprintln!("error: QKV baseline: {e}");
+                    return 1;
+                }
+            };
+            let s = llm_scenario(72, 32, 4, outstanding, opts.scale);
+            let ma = match solo.standalone(Box::new(s.mha), 0, true) {
+                Ok(o) => o.cycles,
+                Err(e) => {
+                    eprintln!("error: MHA baseline: {e}");
+                    return 1;
+                }
+            };
+            let mut runner = Runner::new(system, opts.policy);
+            runner.max_gpu_cycles = opts.budget;
+            let s = llm_scenario(72, 32, 4, outstanding, opts.scale);
+            match runner.collaborative(Box::new(s.qkv), Box::new(s.mha)) {
+                Ok(out) => {
+                    println!(
+                        "QKV alone {qa}, MHA alone {ma}, concurrent {} cycles",
+                        out.concurrent_cycles
+                    );
+                    println!(
+                        "speedup vs sequential: {:.3} (ideal {:.3})",
+                        out.speedup(qa, ma),
+                        pimsim_sim::CollabOutcome::ideal_speedup(qa, ma)
+                    );
+                    print_mc_stats(&out.mc);
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_list() {
+        assert_eq!(parse_args(&args("list")).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn parses_standalone_gpu() {
+        let cmd = parse_args(&args("standalone --gpu G4 --sms 40 --scale 0.5")).unwrap();
+        let Command::Standalone(o) = cmd else {
+            panic!("wrong subcommand")
+        };
+        assert_eq!(o.gpu, Some(GpuBenchmark(4)));
+        assert_eq!(o.sms, 40);
+        assert_eq!(o.scale, 0.5);
+    }
+
+    #[test]
+    fn parses_coexec_with_caps() {
+        let cmd = parse_args(&args(
+            "coexec --gpu g11 --pim p4 --policy f3fs --mem-cap 64 --pim-cap 16 --vc 2",
+        ))
+        .unwrap();
+        let Command::Coexec(o) = cmd else {
+            panic!("wrong subcommand")
+        };
+        assert_eq!(o.policy, PolicyKind::F3fs { mem_cap: 64, pim_cap: 16 });
+        assert_eq!(o.vc, VcMode::SplitPim);
+    }
+
+    #[test]
+    fn rejects_caps_on_non_f3fs() {
+        let e = parse_args(&args("coexec --gpu G1 --pim P1 --policy fcfs --mem-cap 8"))
+            .unwrap_err();
+        assert!(e.0.contains("only apply"));
+    }
+
+    #[test]
+    fn rejects_standalone_with_both_kernels() {
+        assert!(parse_args(&args("standalone --gpu G1 --pim P1")).is_err());
+        assert!(parse_args(&args("standalone")).is_err());
+    }
+
+    #[test]
+    fn rejects_coexec_missing_kernel() {
+        assert!(parse_args(&args("coexec --gpu G1")).is_err());
+    }
+
+    #[test]
+    fn parses_every_policy_name() {
+        for name in [
+            "fcfs",
+            "mem-first",
+            "pim-first",
+            "fr-fcfs",
+            "fr-fcfs-cap",
+            "bliss",
+            "fr-rr-fcfs",
+            "gi",
+            "f3fs",
+        ] {
+            parse_policy(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(parse_policy("nonsense").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_benchmarks() {
+        assert!(parse_gpu("G21").is_err());
+        assert!(parse_gpu("X2").is_err());
+        assert!(parse_pim("P0").is_err());
+        assert!(parse_pim("P10").is_err());
+        assert!(parse_gpu("g20").is_ok());
+        assert!(parse_pim("p9").is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_subcommands() {
+        assert!(parse_args(&args("coexec --gpu G1 --pim P1 --frobnicate 3")).is_err());
+        assert!(parse_args(&args("dance")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+}

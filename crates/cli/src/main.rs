@@ -1,0 +1,13 @@
+//! `pimsim` — command-line driver for the pim-coscheduling simulator.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pimsim_cli::parse_args(&args) {
+        Ok(cmd) => std::process::exit(pimsim_cli::run(cmd)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", pimsim_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! The per-channel memory controller: queues, mode switching with drain,
+//! DRAM command generation, and statistics.
+//!
+//! The controller is the *mechanism* half of the design: each DRAM cycle it
+//! asks its [`SchedulePolicy`] for the desired mode, performs drains and
+//! switches, and issues at most one DRAM command chosen by walking the
+//! policy's `(class, age)` priority over legal candidates. PIM requests are
+//! always serviced FCFS (queue order) for correctness.
+
+use std::collections::BinaryHeap;
+
+use pimsim_dram::{Channel, DramCommand, PimEngine};
+use pimsim_stats::Histogram;
+use pimsim_types::{
+    Cycle, DecodedAddr, Mode, PagePolicy, PimOpKind, Request, RequestKind, SystemConfig,
+};
+
+use crate::policy::{PolicyView, SchedulePolicy};
+use crate::queue::{McQueues, QueuedRequest};
+
+/// A serviced request leaving the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The original request.
+    pub req: Request,
+    /// DRAM cycle at which its data transfer completes.
+    pub at: Cycle,
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse time order so BinaryHeap pops the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.req.id.cmp(&self.req.id))
+    }
+}
+
+/// Mode-switch bookkeeping while draining.
+#[derive(Debug, Clone, Copy)]
+struct SwitchInProgress {
+    target: Mode,
+    started: Cycle,
+}
+
+/// Controller statistics (the sources for Figures 4, 6, and 10).
+#[derive(Debug, Clone, Default)]
+pub struct McStats {
+    /// MEM requests accepted into the MEM queue.
+    pub mem_arrivals: u64,
+    /// PIM requests accepted into the PIM queue.
+    pub pim_arrivals: u64,
+    /// MEM requests serviced (column command issued).
+    pub mem_served: u64,
+    /// PIM requests serviced.
+    pub pim_served: u64,
+    /// MEM column commands that hit the row buffer.
+    pub mem_row_hits: u64,
+    /// MEM requests that required an activate (row miss/conflict).
+    pub mem_row_misses: u64,
+    /// PIM ops that hit (mid-block ops).
+    pub pim_row_hits: u64,
+    /// PIM ops that required an all-bank activate (block starts).
+    pub pim_row_misses: u64,
+    /// Completed mode switches.
+    pub switches: u64,
+    /// Completed MEM→PIM switches.
+    pub switches_mem_to_pim: u64,
+    /// Total drain latency (DRAM cycles) across MEM→PIM switches.
+    pub mem_drain_latency_sum: u64,
+    /// MEM requests that had to re-open a row a switch had closed
+    /// ("additional MEM conflicts", Figure 10b).
+    pub switch_conflicts: u64,
+    /// Sum over active DRAM cycles of the number of busy banks (BLP
+    /// numerator; Figure 4c).
+    pub blp_sum: u64,
+    /// DRAM cycles with at least one busy bank (BLP denominator).
+    pub active_cycles: u64,
+    /// Sum over cycles of MEM queue occupancy.
+    pub mem_q_occupancy_sum: u64,
+    /// Sum over cycles of PIM queue occupancy.
+    pub pim_q_occupancy_sum: u64,
+    /// Cycles stepped.
+    pub cycles: u64,
+    /// Cycles spent in MEM mode (not draining).
+    pub cycles_mem_mode: u64,
+    /// Cycles spent in PIM mode (not draining).
+    pub cycles_pim_mode: u64,
+    /// Cycles spent draining for a mode switch.
+    pub cycles_draining: u64,
+    /// Per-request MEM latency (controller arrival to data completion),
+    /// DRAM cycles.
+    pub mem_latency: Histogram,
+    /// Per-request PIM latency, DRAM cycles.
+    pub pim_latency: Histogram,
+}
+
+impl McStats {
+    /// MEM row-buffer hit rate, if any MEM request was serviced.
+    pub fn mem_rbhr(&self) -> Option<f64> {
+        let total = self.mem_row_hits + self.mem_row_misses;
+        (total > 0).then(|| self.mem_row_hits as f64 / total as f64)
+    }
+
+    /// PIM row-buffer hit rate.
+    pub fn pim_rbhr(&self) -> Option<f64> {
+        let total = self.pim_row_hits + self.pim_row_misses;
+        (total > 0).then(|| self.pim_row_hits as f64 / total as f64)
+    }
+
+    /// Average bank-level parallelism over active DRAM cycles.
+    pub fn avg_blp(&self) -> Option<f64> {
+        (self.active_cycles > 0).then(|| self.blp_sum as f64 / self.active_cycles as f64)
+    }
+
+    /// Average MEM conflicts added per MEM→PIM switch.
+    pub fn conflicts_per_switch(&self) -> Option<f64> {
+        (self.switches_mem_to_pim > 0)
+            .then(|| self.switch_conflicts as f64 / self.switches_mem_to_pim as f64)
+    }
+
+    /// Average MEM drain latency per MEM→PIM switch, in DRAM cycles.
+    pub fn drain_latency_per_switch(&self) -> Option<f64> {
+        (self.switches_mem_to_pim > 0)
+            .then(|| self.mem_drain_latency_sum as f64 / self.switches_mem_to_pim as f64)
+    }
+
+    /// Merges the counters of another controller (for cross-channel
+    /// aggregation).
+    pub fn merge(&mut self, o: &McStats) {
+        self.mem_arrivals += o.mem_arrivals;
+        self.pim_arrivals += o.pim_arrivals;
+        self.mem_served += o.mem_served;
+        self.pim_served += o.pim_served;
+        self.mem_row_hits += o.mem_row_hits;
+        self.mem_row_misses += o.mem_row_misses;
+        self.pim_row_hits += o.pim_row_hits;
+        self.pim_row_misses += o.pim_row_misses;
+        self.switches += o.switches;
+        self.switches_mem_to_pim += o.switches_mem_to_pim;
+        self.mem_drain_latency_sum += o.mem_drain_latency_sum;
+        self.switch_conflicts += o.switch_conflicts;
+        self.blp_sum += o.blp_sum;
+        self.active_cycles += o.active_cycles;
+        self.mem_q_occupancy_sum += o.mem_q_occupancy_sum;
+        self.pim_q_occupancy_sum += o.pim_q_occupancy_sum;
+        self.cycles += o.cycles;
+        self.cycles_mem_mode += o.cycles_mem_mode;
+        self.cycles_pim_mode += o.cycles_pim_mode;
+        self.cycles_draining += o.cycles_draining;
+        self.mem_latency.merge(&o.mem_latency);
+        self.pim_latency.merge(&o.pim_latency);
+    }
+}
+
+/// One channel's memory controller.
+///
+/// # Example
+///
+/// ```
+/// use pimsim_core::{MemoryController, policy::PolicyKind};
+/// use pimsim_types::SystemConfig;
+///
+/// let cfg = SystemConfig::default();
+/// let mc = MemoryController::new(&cfg, PolicyKind::FrFcfs.build());
+/// assert!(mc.is_idle(0));
+/// ```
+#[derive(Debug)]
+pub struct MemoryController {
+    queues: McQueues,
+    channel: Channel,
+    pim_engine: PimEngine,
+    mode: Mode,
+    switch: Option<SwitchInProgress>,
+    policy: Box<dyn SchedulePolicy>,
+    completions: BinaryHeap<Completion>,
+    /// Rows open at the last MEM→PIM switch; used to attribute reopened
+    /// rows to the switch (Figure 10b).
+    rows_at_switch: Vec<Option<u32>>,
+    /// Scratch: open row per bank, rebuilt each cycle for the policy view.
+    open_rows: Vec<Option<u32>>,
+    page_policy: PagePolicy,
+    stats: McStats,
+}
+
+impl MemoryController {
+    /// Creates a controller for one channel.
+    pub fn new(cfg: &SystemConfig, policy: Box<dyn SchedulePolicy>) -> Self {
+        let banks = cfg.dram.banks;
+        let rf_per_bank =
+            cfg.dram.pim_rf_entries * cfg.dram.pim_fus_per_channel / cfg.dram.banks;
+        MemoryController {
+            queues: McQueues::new(cfg.mc.mem_q_entries, cfg.mc.pim_q_entries),
+            channel: Channel::new(&cfg.dram, &cfg.timing),
+            pim_engine: PimEngine::new(rf_per_bank.max(1)),
+            mode: Mode::Mem,
+            switch: None,
+            policy,
+            completions: BinaryHeap::new(),
+            rows_at_switch: vec![None; banks],
+            open_rows: vec![None; banks],
+            page_policy: cfg.mc.page_policy,
+            stats: McStats::default(),
+        }
+    }
+
+    /// Current servicing mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Name of the installed policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Whether a request of the given kind can be accepted.
+    pub fn can_accept(&self, is_pim: bool) -> bool {
+        self.queues.can_accept(is_pim)
+    }
+
+    /// Queued MEM requests.
+    pub fn mem_q_len(&self) -> usize {
+        self.queues.mem_len()
+    }
+
+    /// Queued PIM requests.
+    pub fn pim_q_len(&self) -> usize {
+        self.queues.pim_len()
+    }
+
+    /// Accepts a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target queue is full (check [`MemoryController::can_accept`]).
+    pub fn enqueue(&mut self, req: Request, decoded: DecodedAddr, now: Cycle) {
+        if req.kind.is_pim() {
+            self.stats.pim_arrivals += 1;
+        } else {
+            self.stats.mem_arrivals += 1;
+        }
+        self.queues.enqueue(req, decoded, now);
+    }
+
+    /// True when no requests are queued, in flight, or awaiting pickup.
+    pub fn is_idle(&self, now: Cycle) -> bool {
+        self.queues.is_empty()
+            && self.channel.quiescent(now)
+            && self.switch.is_none()
+            && self.completions.is_empty()
+    }
+
+    /// Pops all completions with `at <= now`.
+    pub fn pop_completions(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(c) = self.completions.peek() {
+            if c.at <= now {
+                out.push(self.completions.pop().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    /// The DRAM channel's command counters (for energy accounting).
+    pub fn channel_stats(&self) -> pimsim_dram::ChannelStats {
+        self.channel.stats()
+    }
+
+    /// Advances the controller by one DRAM cycle.
+    pub fn step(&mut self, now: Cycle) {
+        self.channel.tick(now);
+        self.stats.cycles += 1;
+        self.stats.mem_q_occupancy_sum += self.queues.mem_len() as u64;
+        self.stats.pim_q_occupancy_sum += self.queues.pim_len() as u64;
+        self.integrate_blp(now);
+
+        // 1. Complete an in-progress switch once the drain finishes.
+        if let Some(sw) = self.switch {
+            if self.channel.quiescent(now) {
+                self.finish_switch(sw, now);
+            } else {
+                self.stats.cycles_draining += 1;
+                return; // still draining: no commands issue
+            }
+        }
+
+        // 2. Consult the policy.
+        self.refresh_open_rows();
+        let desired = {
+            let view = PolicyView {
+                now,
+                mode: self.mode,
+                mem: self.queues.mem(),
+                pim: self.queues.pim(),
+                open_rows: &self.open_rows,
+            };
+            self.policy.desired_mode(&view)
+        };
+        if desired != self.mode {
+            self.begin_switch(desired, now);
+            // A drain may complete instantly if nothing is in flight.
+            if let Some(sw) = self.switch {
+                if self.channel.quiescent(now) {
+                    self.finish_switch(sw, now);
+                } else {
+                    self.stats.cycles_draining += 1;
+                    return;
+                }
+            }
+        }
+
+        // 3. Issue at most one command in the current mode.
+        match self.mode {
+            Mode::Mem => {
+                self.stats.cycles_mem_mode += 1;
+                self.issue_mem(now);
+            }
+            Mode::Pim => {
+                self.stats.cycles_pim_mode += 1;
+                self.issue_pim(now);
+            }
+        }
+    }
+
+    fn integrate_blp(&mut self, now: Cycle) {
+        // Bank-level parallelism counts banks with at least one
+        // outstanding request (queued or with data in flight), averaged
+        // over cycles where the DRAM is servicing anything — the standard
+        // BLP definition the paper uses in Figure 4c. A pending PIM
+        // request targets every bank (lock-step execution).
+        let n = self.channel.num_banks();
+        let mut mask = 0u64;
+        for q in self.queues.mem() {
+            mask |= 1 << (q.decoded.bank as usize % 64);
+        }
+        if self.queues.pim_len() > 0 {
+            mask |= (1u64 << n) - 1;
+        }
+        for b in 0..n {
+            if self.channel.bank_busy(b, now) {
+                mask |= 1 << b;
+            }
+        }
+        let busy_banks = u64::from(mask.count_ones());
+        if busy_banks > 0 {
+            self.stats.blp_sum += busy_banks;
+            self.stats.active_cycles += 1;
+        }
+    }
+
+    fn refresh_open_rows(&mut self) {
+        for b in 0..self.channel.num_banks() {
+            self.open_rows[b] = self.channel.open_row(b);
+        }
+    }
+
+    fn begin_switch(&mut self, target: Mode, now: Cycle) {
+        debug_assert_ne!(target, self.mode);
+        self.switch = Some(SwitchInProgress {
+            target,
+            started: now,
+        });
+    }
+
+    fn finish_switch(&mut self, sw: SwitchInProgress, now: Cycle) {
+        if self.mode == Mode::Mem && sw.target == Mode::Pim {
+            self.stats.switches_mem_to_pim += 1;
+            self.stats.mem_drain_latency_sum += now - sw.started;
+            // Remember which rows the switch will close, to attribute
+            // later re-opens to this switch.
+            for b in 0..self.channel.num_banks() {
+                self.rows_at_switch[b] = self.channel.open_row(b);
+            }
+        }
+        self.stats.switches += 1;
+        self.mode = sw.target;
+        self.switch = None;
+        self.policy.on_switch_complete(sw.target, now);
+    }
+
+    /// MEM-mode issue: walk banks, compute the best (class, age) candidate
+    /// action per bank, then issue the globally best action that is legal.
+    fn issue_mem(&mut self, now: Cycle) {
+        if self.queues.mem_len() == 0 {
+            return;
+        }
+        self.refresh_open_rows();
+        let n_banks = self.channel.num_banks();
+        // Best candidate per bank: (class, age, queue index, is_hit).
+        let mut best: Vec<Option<(u32, u64, usize, bool)>> = vec![None; n_banks];
+        {
+            let view = PolicyView {
+                now,
+                mode: self.mode,
+                mem: self.queues.mem(),
+                pim: self.queues.pim(),
+                open_rows: &self.open_rows,
+            };
+            for (idx, q) in view.mem.iter().enumerate() {
+                let bank = q.decoded.bank as usize;
+                if self.policy.bank_masked(bank) {
+                    // The policy's switch logic has stalled this bank
+                    // (FR-FCFS conflict bit) — issue nothing for it.
+                    continue;
+                }
+                let hit = self.open_rows[bank] == Some(q.decoded.row);
+                let class = self.policy.mem_class(q, hit, &view);
+                let cand = (class, q.age, idx, hit);
+                if best[bank].is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                    best[bank] = Some(cand);
+                }
+            }
+        }
+        // Rank banks by their best candidate and issue the first legal
+        // command for the best-ranked serviceable one.
+        let mut order: Vec<(u32, u64, usize)> = best
+            .iter()
+            .enumerate()
+            .filter_map(|(bank, c)| c.map(|(class, age, _, _)| (class, age, bank)))
+            .collect();
+        order.sort_unstable();
+        for (_, _, bank) in order {
+            let (_, _, idx, hit) = best[bank].expect("ranked banks have candidates");
+            let q = self.queues.mem()[idx];
+            if hit {
+                let closed = self.page_policy == PagePolicy::Closed;
+                let cmd = match (q.req.kind, closed) {
+                    (RequestKind::MemRead, false) => DramCommand::Read { bank },
+                    (RequestKind::MemRead, true) => DramCommand::ReadAuto { bank },
+                    (RequestKind::MemWrite, false) => DramCommand::Write { bank },
+                    (RequestKind::MemWrite, true) => DramCommand::WriteAuto { bank },
+                    (RequestKind::Pim(_), _) => unreachable!("PIM in MEM queue"),
+                };
+                if self.channel.can_issue(cmd, now) {
+                    let done = self.channel.issue(cmd, now).expect("column command");
+                    let q = self.queues.remove_mem(idx);
+                    self.note_mem_issued(&q, now);
+                    self.stats.mem_latency.record(done.saturating_sub(q.arrived));
+                    self.completions.push(Completion { req: q.req, at: done });
+                    return;
+                }
+            } else if self.open_rows[bank].is_some() {
+                let cmd = DramCommand::Pre { bank };
+                if self.channel.can_issue(cmd, now) {
+                    self.channel.issue(cmd, now);
+                    return;
+                }
+            } else {
+                let cmd = DramCommand::Act {
+                    bank,
+                    row: q.decoded.row,
+                };
+                if self.channel.can_issue(cmd, now) {
+                    self.channel.issue(cmd, now);
+                    self.note_mem_act(idx, bank, q.decoded.row);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn note_mem_act(&mut self, idx: usize, bank: usize, row: u32) {
+        self.queues.mem_mut()[idx].opened_row = true;
+        // Attribute the conflict to a mode switch if the switch closed this
+        // very row (Figure 10b).
+        if self.rows_at_switch[bank] == Some(row) {
+            self.stats.switch_conflicts += 1;
+        }
+        self.rows_at_switch[bank] = None;
+    }
+
+    fn note_mem_issued(&mut self, q: &QueuedRequest, now: Cycle) {
+        self.stats.mem_served += 1;
+        // Hit/miss is per serviced request: a request whose service needed
+        // one or more activates is a miss, anything else hit the open row.
+        if !q.opened_row {
+            self.stats.mem_row_hits += 1;
+        } else {
+            self.stats.mem_row_misses += 1;
+        }
+        let bypassed = self
+            .queues
+            .oldest_pim_age()
+            .is_some_and(|pim_age| pim_age < q.age);
+        self.policy.on_mem_issued(q, bypassed, now);
+    }
+
+    /// PIM-mode issue: FCFS on the PIM queue; all banks move in lock-step.
+    fn issue_pim(&mut self, now: Cycle) {
+        let Some(head) = self.queues.pim().front().copied() else {
+            return;
+        };
+        let cmd = head
+            .req
+            .kind
+            .pim()
+            .copied()
+            .expect("PIM queue holds PIM requests");
+        let n_banks = self.channel.num_banks();
+        let all_open_target = (0..n_banks).all(|b| self.channel.open_row(b) == Some(cmd.row));
+        if all_open_target {
+            let op = DramCommand::PimOp {
+                writes_row: cmd.op == PimOpKind::RfStore,
+            };
+            if self.channel.can_issue(op, now) {
+                let done = self.channel.issue(op, now).expect("column command");
+                let q = self.queues.pop_pim().expect("head exists");
+                self.pim_engine
+                    .execute(&cmd)
+                    .expect("PIM RF discipline violated by workload");
+                self.stats.pim_served += 1;
+                if q.opened_row {
+                    self.stats.pim_row_misses += 1;
+                } else {
+                    self.stats.pim_row_hits += 1;
+                }
+                let bypassed = self
+                    .queues
+                    .oldest_mem_age()
+                    .is_some_and(|mem_age| mem_age < q.age);
+                self.policy.on_pim_issued(&q, bypassed, now);
+                self.stats.pim_latency.record(done.saturating_sub(q.arrived));
+                self.completions.push(Completion { req: q.req, at: done });
+            }
+            return;
+        }
+        // Need to (re)open cmd.row on all banks: precharge any bank open to
+        // another row, then all-bank activate.
+        let any_open = (0..n_banks).any(|b| self.channel.open_row(b).is_some());
+        if any_open {
+            let pre = DramCommand::PreAll;
+            if self.channel.can_issue(pre, now) {
+                self.channel.issue(pre, now);
+            }
+        } else {
+            let act = DramCommand::PimActAll { row: cmd.row };
+            if self.channel.can_issue(act, now) {
+                self.channel.issue(act, now);
+                self.queues.mark_pim_head_opened();
+            }
+        }
+    }
+}

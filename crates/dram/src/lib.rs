@@ -1,0 +1,37 @@
+//! Cycle-level HBM DRAM model with bank-level processing-in-memory.
+//!
+//! This crate models the memory devices of the paper's PIM-enabled GPU
+//! (Figure 1): per-channel banks with row buffers and full command timing
+//! (Table I), plus the all-bank lock-step PIM execution mode and the PIM
+//! functional units' register files.
+//!
+//! The model is a *mechanism* layer: it enforces DRAM legality, while
+//! scheduling decisions (which request, which mode) live in `pimsim-core`.
+//!
+//! Deliberate simplifications (documented in `DESIGN.md`): no refresh, no
+//! read/write bus-turnaround penalty beyond data-bus occupancy, and no
+//! power model.
+//!
+//! # Example
+//!
+//! ```
+//! use pimsim_dram::{Channel, DramCommand};
+//! use pimsim_types::{DramConfig, DramTiming};
+//!
+//! let mut ch = Channel::new(&DramConfig::default(), &DramTiming::default());
+//! ch.issue(DramCommand::Act { bank: 0, row: 42 }, 0);
+//! assert_eq!(ch.open_row(0), Some(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod energy;
+pub mod mapping;
+pub mod pim;
+
+pub use channel::{Channel, ChannelStats, DramCommand};
+pub use energy::{channel_energy, EnergyBreakdown, EnergyConfig};
+pub use mapping::AddressMapper;
+pub use pim::{PimEngine, RfDisciplineError};

@@ -1,0 +1,54 @@
+//! The kernel-model abstraction shared by MEM and PIM kernels.
+
+use pimsim_types::{Cycle, PhysAddr, RequestId, RequestKind};
+
+/// A request produced by a kernel model, before the simulator wraps it in
+/// a [`pimsim_types::Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssuedRequest {
+    /// What to do.
+    pub kind: RequestKind,
+    /// Physical address (for PIM requests, a synthesized address; the real
+    /// target is inside the embedded command).
+    pub addr: PhysAddr,
+}
+
+/// A kernel's memory-request stream, split across the SMs it occupies.
+///
+/// The simulator drives each SM slot independently:
+///
+/// 1. every GPU cycle, for each slot with injection capacity, it calls
+///    [`KernelModel::try_issue`] with the [`RequestId`] the request will
+///    carry;
+/// 2. when the memory system acknowledges a request, it calls
+///    [`KernelModel::on_complete`] with that ID;
+/// 3. the kernel is finished when [`KernelModel::is_done`] — all work
+///    issued *and* acknowledged.
+///
+/// Flow control: regular kernels are throttled by the simulator's per-SM
+/// outstanding cap; PIM kernels self-throttle per warp (store-buffer
+/// capacity) and by Orderlight ordering.
+pub trait KernelModel: Send {
+    /// Kernel name for reporting (e.g. `"bfs"`, `"Stream Add"`).
+    fn name(&self) -> &str;
+
+    /// Number of SM slots this kernel occupies.
+    fn num_slots(&self) -> usize;
+
+    /// Produce the next request from `slot`, or `None` if the slot is
+    /// pacing (compute phase), throttled, or out of work.
+    fn try_issue(&mut self, slot: usize, now: Cycle, id: RequestId) -> Option<IssuedRequest>;
+
+    /// A request issued from `slot` was acknowledged by the memory system.
+    fn on_complete(&mut self, slot: usize, id: RequestId, now: Cycle);
+
+    /// All work issued and acknowledged.
+    fn is_done(&self) -> bool;
+
+    /// Total requests this kernel will issue per run.
+    fn total_requests(&self) -> u64;
+
+    /// Restart the kernel for a fresh run (kernels run in a loop in the
+    /// paper's methodology; the re-run re-seeds deterministically).
+    fn reset(&mut self);
+}

@@ -1,0 +1,515 @@
+//! Input-queued crossbar with virtual channels and iSlip-style arbitration.
+//!
+//! The paper's GPU connects SMs to memory partitions through a crossbar
+//! (GPGPU-Sim's interconnect). We model an input-queued crossbar:
+//!
+//! * each input port has one FIFO per virtual channel (one VC in the
+//!   baseline `VC1` configuration, separate MEM and PIM VCs in `VC2`);
+//! * each output port grants at most one flit per cycle, selected by a
+//!   rotating-priority (iSlip-style) arbiter over requesting inputs;
+//! * per the paper's modification of iSlip (Section V-A), each input link
+//!   records the VC it last served and switches to the other VC when that
+//!   VC has traffic, giving MEM and PIM round-robin service on every link;
+//! * ejection is subject to downstream backpressure: a grant only succeeds
+//!   if the destination queue (per-VC under `VC2`) accepts the flit.
+//!
+//! A request occupies a single flit. Buffer capacity is expressed in flits
+//! per input port, split evenly across VCs (Section V-A keeps *total*
+//! buffering equal between VC1 and VC2).
+
+use std::collections::VecDeque;
+
+use pimsim_types::{Cycle, Request, VcMode};
+
+/// Virtual-channel index within a port.
+pub type VcIndex = usize;
+
+/// A queued flit: a request plus its destination output port.
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    req: Request,
+    dest: usize,
+}
+
+/// Per-input-port state.
+#[derive(Debug, Clone)]
+struct InputPort {
+    vcs: Vec<VecDeque<Flit>>,
+    capacity_per_vc: usize,
+    /// VC served most recently on this link (for the modified iSlip VC
+    /// round-robin).
+    last_vc: VcIndex,
+}
+
+impl InputPort {
+    fn occupancy(&self) -> usize {
+        self.vcs.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// Aggregate crossbar counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossbarStats {
+    /// Flits accepted into input buffers.
+    pub injected: u64,
+    /// Injections refused because the target VC buffer was full.
+    pub inject_stalls: u64,
+    /// Flits delivered to their output.
+    pub ejected: u64,
+    /// Grants refused by downstream backpressure.
+    pub eject_stalls: u64,
+    /// Sum over cycles of total buffered flits (divide by cycles for mean
+    /// occupancy).
+    pub occupancy_integral: u64,
+}
+
+/// An input-queued crossbar switch.
+///
+/// # Example
+///
+/// ```
+/// use pimsim_noc::Crossbar;
+/// use pimsim_types::{Request, RequestId, RequestKind, AppId, PhysAddr, VcMode};
+///
+/// let mut xbar = Crossbar::new(2, 2, 8, VcMode::Shared);
+/// let req = Request::new(RequestId(0), AppId::GPU, RequestKind::MemRead, PhysAddr(0), 0, 0);
+/// xbar.try_inject(0, req, 1).unwrap();
+/// let mut out = Vec::new();
+/// xbar.step(0, |port, _vc, req| {
+///     out.push((port, req.id));
+///     true
+/// });
+/// assert_eq!(out.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    inputs: Vec<InputPort>,
+    n_out: usize,
+    /// Per-output rotating grant pointer over inputs.
+    grant_ptr: Vec<usize>,
+    vc_mode: VcMode,
+    /// iSlip request-grant iterations per cycle. With one iteration an
+    /// input that loses arbitration idles the cycle; further iterations
+    /// let it propose its other VC's head toward a still-free output.
+    iterations: usize,
+    stats: CrossbarStats,
+}
+
+impl Crossbar {
+    /// Creates a crossbar with `n_in` input ports, `n_out` output ports,
+    /// and `buffer_entries` total flit slots per input port (split evenly
+    /// across VCs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `buffer_entries` cannot give
+    /// every VC at least one slot.
+    pub fn new(n_in: usize, n_out: usize, buffer_entries: usize, vc_mode: VcMode) -> Self {
+        assert!(n_in > 0 && n_out > 0, "crossbar dimensions must be nonzero");
+        let vcs = vc_mode.vc_count();
+        let per_vc = buffer_entries / vcs;
+        assert!(per_vc > 0, "buffer_entries must cover every VC");
+        Crossbar {
+            inputs: (0..n_in)
+                .map(|_| InputPort {
+                    vcs: (0..vcs).map(|_| VecDeque::new()).collect(),
+                    capacity_per_vc: per_vc,
+                    last_vc: 0,
+                })
+                .collect(),
+            n_out,
+            grant_ptr: vec![0; n_out],
+            vc_mode,
+            iterations: 1,
+            stats: CrossbarStats::default(),
+        }
+    }
+
+    /// Sets the number of iSlip iterations per cycle (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        assert!(iterations > 0, "iSlip needs at least one iteration");
+        self.iterations = iterations;
+        self
+    }
+
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output ports.
+    pub fn num_outputs(&self) -> usize {
+        self.n_out
+    }
+
+    /// The virtual channel a request uses under the current configuration.
+    pub fn vc_for(&self, req: &Request) -> VcIndex {
+        match self.vc_mode {
+            VcMode::Shared => 0,
+            VcMode::SplitPim => usize::from(req.kind.is_pim()),
+        }
+    }
+
+    /// Whether `input` can accept a request of the given PIM-ness now.
+    pub fn can_inject(&self, input: usize, is_pim: bool) -> bool {
+        let vc = match self.vc_mode {
+            VcMode::Shared => 0,
+            VcMode::SplitPim => usize::from(is_pim),
+        };
+        let p = &self.inputs[input];
+        p.vcs[vc].len() < p.capacity_per_vc
+    }
+
+    /// Injects `req` at `input`, destined for output port `dest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the target VC buffer is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `dest` is out of range.
+    pub fn try_inject(&mut self, input: usize, req: Request, dest: usize) -> Result<(), Request> {
+        assert!(dest < self.n_out, "dest out of range");
+        let vc = self.vc_for(&req);
+        let p = &mut self.inputs[input];
+        if p.vcs[vc].len() >= p.capacity_per_vc {
+            self.stats.inject_stalls += 1;
+            return Err(req);
+        }
+        p.vcs[vc].push_back(Flit { req, dest });
+        self.stats.injected += 1;
+        Ok(())
+    }
+
+    /// Total flits buffered at `input`.
+    pub fn input_occupancy(&self, input: usize) -> usize {
+        self.inputs[input].occupancy()
+    }
+
+    /// Total flits buffered in the crossbar.
+    pub fn total_occupancy(&self) -> usize {
+        self.inputs.iter().map(InputPort::occupancy).sum()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CrossbarStats {
+        self.stats
+    }
+
+    /// Head-flit VC an input proposes this cycle: the modified iSlip VC
+    /// round-robin (switch away from `last_vc` when the other VC has
+    /// traffic).
+    fn propose_vc(&self, input: usize) -> Option<VcIndex> {
+        let p = &self.inputs[input];
+        match p.vcs.len() {
+            1 => (!p.vcs[0].is_empty()).then_some(0),
+            _ => {
+                let other = 1 - p.last_vc;
+                if !p.vcs[other].is_empty() {
+                    Some(other)
+                } else if !p.vcs[p.last_vc].is_empty() {
+                    Some(p.last_vc)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Runs one arbitration cycle.
+    ///
+    /// `eject(output, vc, request)` is called for each granted flit and
+    /// must return `true` to accept it (downstream queue has space). On
+    /// `false`, the flit stays queued and the grant pointer does not
+    /// advance (iSlip only advances pointers on successful grants).
+    pub fn step<F>(&mut self, _now: Cycle, mut eject: F)
+    where
+        F: FnMut(usize, VcIndex, &Request) -> bool,
+    {
+        self.stats.occupancy_integral += self.total_occupancy() as u64;
+        let n_in = self.inputs.len();
+        let mut input_done = vec![false; n_in];
+        let mut output_done = vec![false; self.n_out];
+        for _iter in 0..self.iterations {
+            // Gather one proposal per ungranted input toward an
+            // ungranted output: the VC round-robin choice first, falling
+            // back to the other VC if its head targets a free output.
+            let mut proposal: Vec<Option<VcIndex>> = vec![None; n_in];
+            let mut requests_per_output: Vec<Vec<usize>> = vec![Vec::new(); self.n_out];
+            for i in 0..n_in {
+                if input_done[i] {
+                    continue;
+                }
+                let preferred = self.propose_vc(i);
+                let mut candidates: Vec<VcIndex> = Vec::new();
+                if let Some(vc) = preferred {
+                    candidates.push(vc);
+                    for other in 0..self.inputs[i].vcs.len() {
+                        if other != vc && !self.inputs[i].vcs[other].is_empty() {
+                            candidates.push(other);
+                        }
+                    }
+                }
+                for vc in candidates {
+                    let dest = self.inputs[i].vcs[vc]
+                        .front()
+                        .expect("candidate VC must be nonempty")
+                        .dest;
+                    if !output_done[dest] {
+                        proposal[i] = Some(vc);
+                        requests_per_output[dest].push(i);
+                        break;
+                    }
+                }
+            }
+            if requests_per_output.iter().all(Vec::is_empty) {
+                break;
+            }
+            // Output arbitration: rotating priority over inputs, advanced
+            // only on a successful grant.
+            for out in 0..self.n_out {
+                if output_done[out] {
+                    continue;
+                }
+                let requesters = &requests_per_output[out];
+                if requesters.is_empty() {
+                    continue;
+                }
+                let start = self.grant_ptr[out];
+                for off in 0..n_in {
+                    let cand = (start + off) % n_in;
+                    if !requesters.contains(&cand) {
+                        continue;
+                    }
+                    let vc = proposal[cand].expect("granted input must have proposed");
+                    let flit = *self.inputs[cand].vcs[vc]
+                        .front()
+                        .expect("candidate VC must be nonempty");
+                    debug_assert_eq!(flit.dest, out);
+                    if eject(out, vc, &flit.req) {
+                        self.inputs[cand].vcs[vc].pop_front();
+                        self.inputs[cand].last_vc = vc;
+                        self.grant_ptr[out] = (cand + 1) % n_in;
+                        self.stats.ejected += 1;
+                        input_done[cand] = true;
+                        output_done[out] = true;
+                    } else {
+                        self.stats.eject_stalls += 1;
+                        // Backpressured output: no point retrying it this
+                        // cycle.
+                        output_done[out] = true;
+                    }
+                    // One grant attempt per output per iteration.
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_types::{AppId, PhysAddr, PimCommand, PimOpKind, RequestId, RequestKind};
+
+    fn mem_req(id: u64, src: u16) -> Request {
+        Request::new(
+            RequestId(id),
+            AppId::GPU,
+            RequestKind::MemRead,
+            PhysAddr(id * 32),
+            src,
+            0,
+        )
+    }
+
+    fn pim_req(id: u64, src: u16) -> Request {
+        let cmd = PimCommand {
+            op: PimOpKind::RfLoad,
+            channel: 0,
+            row: 0,
+            col: 0,
+            rf_entry: 0,
+            block_start: false,
+            block_id: 0,
+        };
+        Request::new(
+            RequestId(id),
+            AppId::PIM,
+            RequestKind::Pim(cmd),
+            PhysAddr(0),
+            src,
+            0,
+        )
+    }
+
+    #[test]
+    fn delivers_a_flit_end_to_end() {
+        let mut x = Crossbar::new(4, 2, 8, VcMode::Shared);
+        x.try_inject(2, mem_req(7, 2), 1).unwrap();
+        let mut seen = Vec::new();
+        x.step(0, |out, vc, req| {
+            seen.push((out, vc, req.id.0));
+            true
+        });
+        assert_eq!(seen, vec![(1, 0, 7)]);
+        assert_eq!(x.total_occupancy(), 0);
+    }
+
+    #[test]
+    fn one_grant_per_output_per_cycle() {
+        let mut x = Crossbar::new(4, 1, 8, VcMode::Shared);
+        for i in 0..4 {
+            x.try_inject(i, mem_req(i as u64, i as u16), 0).unwrap();
+        }
+        let mut count = 0;
+        x.step(0, |_, _, _| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+        assert_eq!(x.total_occupancy(), 3);
+    }
+
+    #[test]
+    fn grant_pointer_rotates_fairly() {
+        let mut x = Crossbar::new(3, 1, 8, VcMode::Shared);
+        // Keep all inputs loaded; the output must serve them round-robin.
+        for round in 0..9u64 {
+            for i in 0..3 {
+                let _ = x.try_inject(i, mem_req(round * 3 + i as u64, i as u16), 0);
+            }
+        }
+        let mut served = Vec::new();
+        for cyc in 0..9 {
+            x.step(cyc, |_, _, req| {
+                served.push(req.src_port);
+                true
+            });
+        }
+        let counts = [0u16, 1, 2].map(|p| served.iter().filter(|&&s| s == p).count());
+        assert_eq!(counts, [3, 3, 3], "iSlip must serve equal loads equally");
+    }
+
+    #[test]
+    fn backpressure_keeps_flit_queued() {
+        let mut x = Crossbar::new(1, 1, 8, VcMode::Shared);
+        x.try_inject(0, mem_req(1, 0), 0).unwrap();
+        x.step(0, |_, _, _| false);
+        assert_eq!(x.total_occupancy(), 1, "refused flit must stay");
+        let mut got = 0;
+        x.step(1, |_, _, _| {
+            got += 1;
+            true
+        });
+        assert_eq!(got, 1);
+        assert_eq!(x.stats().eject_stalls, 1);
+    }
+
+    #[test]
+    fn full_vc_rejects_injection() {
+        let mut x = Crossbar::new(1, 1, 2, VcMode::Shared);
+        x.try_inject(0, mem_req(0, 0), 0).unwrap();
+        x.try_inject(0, mem_req(1, 0), 0).unwrap();
+        assert!(x.try_inject(0, mem_req(2, 0), 0).is_err());
+        assert!(!x.can_inject(0, false));
+        assert_eq!(x.stats().inject_stalls, 1);
+    }
+
+    #[test]
+    fn split_vcs_isolate_pim_from_mem() {
+        // VC2: fill the PIM VC completely; MEM injections must still work.
+        let mut x = Crossbar::new(1, 1, 8, VcMode::SplitPim);
+        for i in 0..4 {
+            x.try_inject(0, pim_req(i, 0), 0).unwrap();
+        }
+        assert!(!x.can_inject(0, true), "PIM VC full");
+        assert!(x.can_inject(0, false), "MEM VC unaffected");
+        x.try_inject(0, mem_req(100, 0), 0).unwrap();
+    }
+
+    #[test]
+    fn vc2_alternates_mem_and_pim_on_a_link() {
+        let mut x = Crossbar::new(1, 1, 64, VcMode::SplitPim);
+        for i in 0..4 {
+            x.try_inject(0, pim_req(i, 0), 0).unwrap();
+            x.try_inject(0, mem_req(100 + i, 0), 0).unwrap();
+        }
+        let mut kinds = Vec::new();
+        for cyc in 0..8 {
+            x.step(cyc, |_, _, req| {
+                kinds.push(req.kind.is_pim());
+                true
+            });
+        }
+        // Round-robin between VCs: strict alternation while both have
+        // traffic.
+        for w in kinds.windows(2).take(6) {
+            assert_ne!(w[0], w[1], "VCs must alternate under load: {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn shared_vc_lets_pim_block_mem() {
+        // The VC1 pathology from the paper: PIM flits ahead of a MEM flit
+        // in the same FIFO deny it service while the MC ejection is slow.
+        let mut x = Crossbar::new(1, 1, 16, VcMode::Shared);
+        for i in 0..8 {
+            x.try_inject(0, pim_req(i, 0), 0).unwrap();
+        }
+        x.try_inject(0, mem_req(100, 0), 0).unwrap();
+        // Downstream accepts nothing (e.g. PIM queue full at the MC).
+        for cyc in 0..4 {
+            x.step(cyc, |_, _, req| !req.kind.is_pim());
+        }
+        // The MEM request is still stuck behind PIM heads.
+        assert_eq!(x.total_occupancy(), 9);
+    }
+
+    #[test]
+    fn second_islip_iteration_recovers_lost_inputs() {
+        // Input 0 and 1 both propose their PIM heads to output 0; with two
+        // VCs and two iterations, the loser's MEM head (to output 1) still
+        // goes through in the same cycle.
+        let mut one = Crossbar::new(2, 2, 64, VcMode::SplitPim);
+        let mut two = Crossbar::new(2, 2, 64, VcMode::SplitPim).with_iterations(2);
+        for x in [&mut one, &mut two] {
+            for i in 0..2 {
+                x.try_inject(i, pim_req(i as u64, i as u16), 0).unwrap();
+                x.try_inject(i, mem_req(10 + i as u64, i as u16), 1).unwrap();
+            }
+        }
+        let count = |x: &mut Crossbar| {
+            let mut n = 0;
+            x.step(0, |_, _, _| {
+                n += 1;
+                true
+            });
+            n
+        };
+        let n1 = count(&mut one);
+        let n2 = count(&mut two);
+        assert!(n2 > n1, "two iterations must deliver more ({n1} vs {n2})");
+        assert_eq!(n2, 2, "both outputs busy with two iterations");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = Crossbar::new(2, 2, 8, VcMode::Shared).with_iterations(0);
+    }
+
+    #[test]
+    fn occupancy_integral_accumulates() {
+        let mut x = Crossbar::new(1, 1, 8, VcMode::Shared);
+        x.try_inject(0, mem_req(0, 0), 0).unwrap();
+        x.step(0, |_, _, _| false);
+        x.step(1, |_, _, _| false);
+        assert_eq!(x.stats().occupancy_integral, 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! Interconnect model: the crossbar between GPU SMs and memory partitions.
+//!
+//! Implements the paper's baseline single-VC interconnect ("VC1") and the
+//! proposed configuration with a separate PIM virtual channel ("VC2",
+//! Section V-A), including the modified iSlip arbitration that round-robins
+//! between the two VCs on every link.
+//!
+//! The same [`Crossbar`] type serves as both the request network (SMs →
+//! memory partitions) and the reply network (memory partitions → SMs).
+//!
+//! # Example
+//!
+//! ```
+//! use pimsim_noc::Crossbar;
+//! use pimsim_types::VcMode;
+//!
+//! // 80 SMs to 32 memory partitions, 512-entry port buffers, split VCs.
+//! let xbar = Crossbar::new(80, 32, 512, VcMode::SplitPim);
+//! assert_eq!(xbar.num_inputs(), 80);
+//! assert_eq!(xbar.num_outputs(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossbar;
+
+pub use crossbar::{Crossbar, CrossbarStats, VcIndex};

@@ -1,0 +1,149 @@
+//! Figure 11 (and the LLM half of Figure 14a): the GPT-3-like
+//! collaborative scenario — QKV generation on the GPU overlapped with
+//! multi-head attention on PIM — under every policy and VC configuration.
+
+use pimsim_core::PolicyKind;
+use pimsim_types::{SystemConfig, VcMode};
+use pimsim_workloads::llm::{mha_spec, qkv_params};
+use pimsim_gpu::{PimKernelModel, SyntheticGpuKernel};
+
+use crate::runner::Runner;
+
+use super::sweep::parallel_map;
+
+/// One bar of Figure 11.
+#[derive(Debug, Clone)]
+pub struct CollabPoint {
+    /// Policy.
+    pub policy: PolicyKind,
+    /// VC configuration.
+    pub vc: VcMode,
+    /// Speedup over sequential execution of QKV then MHA.
+    pub speedup: f64,
+}
+
+/// Figure 11's full result: per-policy speedups plus the ideal bound.
+#[derive(Debug, Clone)]
+pub struct CollabReport {
+    /// All measured points.
+    pub points: Vec<CollabPoint>,
+    /// QKV standalone time (72 SMs), GPU cycles.
+    pub qkv_alone: u64,
+    /// MHA standalone time, GPU cycles.
+    pub mha_alone: u64,
+    /// Perfect-overlap speedup bound.
+    pub ideal: f64,
+}
+
+fn qkv(system: &SystemConfig, scale: f64) -> SyntheticGpuKernel {
+    SyntheticGpuKernel::new(qkv_params(scale), system.gpu.num_sms - 8)
+}
+
+fn mha(system: &SystemConfig, scale: f64) -> PimKernelModel {
+    let channels = system.dram.channels;
+    let warps = system.gpu.pim_warps_per_sm;
+    PimKernelModel::new(
+        mha_spec(channels, scale),
+        channels / warps,
+        warps,
+        system.gpu.max_outstanding_pim_per_warp as u32,
+    )
+}
+
+/// F3FS CAP choices for the LLM, from a sensitivity study against our
+/// scaled workloads (mirroring the paper's method; the paper lands on
+/// MEM/PIM = 256/128 under VC1 and 64/64 under VC2 for its full-size
+/// kernels). For us the study lands on a symmetric 32/32 under VC1 and an
+/// asymmetric 32/16 — favoring the slower MEM kernel — under VC2; the
+/// `fig14a` ablation regenerates the sweep.
+pub fn f3fs_llm_caps(vc: VcMode) -> PolicyKind {
+    match vc {
+        VcMode::Shared => PolicyKind::F3fs {
+            mem_cap: 32,
+            pim_cap: 32,
+        },
+        VcMode::SplitPim => PolicyKind::F3fs {
+            mem_cap: 32,
+            pim_cap: 16,
+        },
+    }
+}
+
+/// Runs the collaborative scenario for every (policy, vc), substituting
+/// the LLM-tuned F3FS CAPs for the generic competitive ones.
+pub fn run_collaborative(system: &SystemConfig, scale: f64, budget: u64) -> CollabReport {
+    // Standalone references (policy-independent; FR-FCFS used).
+    let mut solo_runner = Runner::new(system.clone(), PolicyKind::FrFcfs);
+    solo_runner.max_gpu_cycles = budget * 4;
+    let qkv_alone = solo_runner
+        .standalone(Box::new(qkv(system, scale)), 8, false)
+        .expect("QKV standalone")
+        .cycles;
+    let mha_alone = solo_runner
+        .standalone(Box::new(mha(system, scale)), 0, true)
+        .expect("MHA standalone")
+        .cycles;
+
+    let mut jobs = Vec::new();
+    for vc in [VcMode::Shared, VcMode::SplitPim] {
+        let mut policies = PolicyKind::baselines();
+        policies.push(f3fs_llm_caps(vc));
+        for policy in policies {
+            jobs.push((policy, vc));
+        }
+    }
+    let points = parallel_map(jobs, |(policy, vc)| {
+        let mut sys = system.clone();
+        sys.noc.vc_mode = vc;
+        let mut runner = Runner::new(sys, policy);
+        runner.max_gpu_cycles = budget;
+        let speedup = match runner.collaborative(
+            Box::new(qkv(system, scale)),
+            Box::new(mha(system, scale)),
+        ) {
+            Ok(out) => out.speedup(qkv_alone, mha_alone),
+            // A policy that cannot finish the pair in budget effectively
+            // serializes worse than sequential.
+            Err(_) => (qkv_alone + mha_alone) as f64 / (budget as f64),
+        };
+        CollabPoint {
+            policy,
+            vc,
+            speedup,
+        }
+    });
+    CollabReport {
+        points,
+        qkv_alone,
+        mha_alone,
+        ideal: crate::runner::CollabOutcome::ideal_speedup(qkv_alone, mha_alone),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "several seconds; run with --ignored or the fig11 binary"]
+    fn qkv_runs_longer_and_speedups_bounded_by_ideal() {
+        let report = run_collaborative(&SystemConfig::default(), 0.1, 20_000_000);
+        // The scenario's premise: QKV (GPU) is the longer kernel.
+        assert!(
+            report.qkv_alone > report.mha_alone,
+            "QKV {} must outlast MHA {}",
+            report.qkv_alone,
+            report.mha_alone
+        );
+        assert!(report.ideal > 1.0 && report.ideal <= 2.0);
+        for p in &report.points {
+            assert!(
+                p.speedup <= report.ideal * 1.05,
+                "{:?} exceeds ideal: {} > {}",
+                p.policy,
+                p.speedup,
+                report.ideal
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Parallel sweep helper: runs independent simulations across CPU cores.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item, fanning out across available cores, and
+/// returns results in input order.
+///
+/// The work queue is dynamic (work stealing by index), so heterogeneous
+/// simulation lengths balance well.
+///
+/// # Example
+///
+/// ```
+/// use pimsim_sim::experiments::sweep::parallel_map;
+///
+/// let squares = parallel_map((0..100u64).collect(), |x| x * x);
+/// assert_eq!(squares[7], 49);
+/// ```
+pub fn parallel_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let n = queue.lock().len();
+    let results: Mutex<Vec<Option<T>>> =
+        Mutex::new(std::iter::repeat_with(|| None).take(n).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let Some((idx, item)) = queue.lock().pop_front() else {
+                    break;
+                };
+                let out = f(item);
+                results.lock()[idx] = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map((0..1000u32).collect(), |x| x + 1);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn handles_single_item() {
+        let out = parallel_map(vec![41u32], |x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn propagates_worker_panics() {
+        let _ = parallel_map(vec![0u32, 1, 2, 3], |x| {
+            assert!(x != 2, "boom");
+            x
+        });
+    }
+}

@@ -1,0 +1,35 @@
+//! Full-system simulator for the PIM-enabled GPU of the reproduced paper.
+//!
+//! Wires the workspace's substrates together — SM kernel models
+//! (`pimsim-gpu`), the crossbar interconnect (`pimsim-noc`), L2 slices
+//! (`pimsim-cache`), and PIM-aware memory controllers (`pimsim-core`) over
+//! the HBM model (`pimsim-dram`) — into a two-clock-domain cycle
+//! simulator, and provides the run harnesses and experiment drivers that
+//! regenerate the paper's figures.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pimsim_core::policy::PolicyKind;
+//! use pimsim_sim::Runner;
+//! use pimsim_types::SystemConfig;
+//! use pimsim_workloads::{gpu_kernel, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark};
+//!
+//! let runner = Runner::new(SystemConfig::default(), PolicyKind::F3fs { mem_cap: 256, pim_cap: 256 });
+//! let gpu = gpu_kernel(GpuBenchmark(4), 72, 0.1);
+//! let pim = pim_kernel(PimBenchmark(1), 32, 4, 32, 0.1);
+//! let out = runner.coexec(Box::new(gpu), Box::new(pim), true);
+//! println!("GPU first run: {} cycles", out.gpu_first_run);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod partition;
+pub mod runner;
+pub mod system;
+
+pub use partition::{Partition, PartitionStats};
+pub use runner::{CoexecOutcome, CollabOutcome, Runner, SoloOutcome};
+pub use system::{CycleBudgetExceeded, MountedKernel, Simulator};

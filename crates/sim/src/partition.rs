@@ -1,0 +1,539 @@
+//! A memory partition: the per-channel slice of the memory subsystem
+//! (Figure 7) — interconnect→L2 staging queues, an L2 slice, L2→DRAM
+//! staging queues, and the memory controller.
+//!
+//! Under the baseline VC1 configuration both staging queues are single
+//! FIFOs shared by MEM and PIM requests — the head-of-line blocking this
+//! causes is exactly the denial-of-service chain of Figure 7a. Under VC2
+//! each queue is split in half, one FIFO per request class.
+
+use std::collections::VecDeque;
+
+use pimsim_cache::{AccessOutcome, CacheSlice};
+use pimsim_core::{Completion, MemoryController, SchedulePolicy};
+use pimsim_dram::AddressMapper;
+use pimsim_types::{
+    Cycle, DecodedAddr, Request, RequestId, RequestKind, SystemConfig, VcMode,
+};
+
+/// Upper bound on buffered outbound replies before the L2 stalls.
+const REPLY_OUT_CAP: usize = 64;
+
+/// Per-partition counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionStats {
+    /// Requests accepted into the icnt→L2 queues.
+    pub icnt_accepted: u64,
+    /// Cycles the head of an icnt→L2 queue was stalled.
+    pub icnt_head_stalls: u64,
+    /// Fill requests sent to DRAM.
+    pub fills_sent: u64,
+    /// Writebacks sent to DRAM.
+    pub writebacks_sent: u64,
+}
+
+/// One memory partition.
+#[derive(Debug)]
+pub struct Partition {
+    channel: usize,
+    vc_mode: VcMode,
+    icnt_q: Vec<VecDeque<Request>>,
+    icnt_cap_per_vc: usize,
+    l2: CacheSlice,
+    l2dram_q: Vec<VecDeque<Request>>,
+    l2dram_cap_per_vc: usize,
+    /// The controller; public so experiments can read its stats.
+    pub mc: MemoryController,
+    /// L2 pipeline: (ready cycle, request) for hits and merged acks.
+    l2_delay: VecDeque<(Cycle, Request)>,
+    /// Fill completions from DRAM awaiting L2 install.
+    pending_fills: VecDeque<Request>,
+    /// Dirty victims awaiting L2→DRAM space.
+    pending_writebacks: VecDeque<Request>,
+    /// MEM completions awaiting injection into the reply network.
+    reply_out: VecDeque<Request>,
+    /// PIM acks awaiting credit return to the kernel.
+    pim_acks: Vec<Request>,
+    /// Round-robin pointers for VC service.
+    rr_icnt: usize,
+    rr_l2dram: usize,
+    stats: PartitionStats,
+}
+
+impl Partition {
+    /// Builds the partition for `channel`.
+    pub fn new(channel: usize, cfg: &SystemConfig, policy: Box<dyn SchedulePolicy>) -> Self {
+        let vcs = cfg.noc.vc_mode.vc_count();
+        Partition {
+            channel,
+            vc_mode: cfg.noc.vc_mode,
+            icnt_q: (0..vcs).map(|_| VecDeque::new()).collect(),
+            icnt_cap_per_vc: cfg.mc.icnt_to_l2_entries / vcs,
+            l2: CacheSlice::new(&cfg.cache, cfg.dram.channels),
+            l2dram_q: (0..vcs).map(|_| VecDeque::new()).collect(),
+            l2dram_cap_per_vc: cfg.mc.l2_to_dram_entries / vcs,
+            mc: MemoryController::new(cfg, policy),
+            l2_delay: VecDeque::new(),
+            pending_fills: VecDeque::new(),
+            pending_writebacks: VecDeque::new(),
+            reply_out: VecDeque::new(),
+            pim_acks: Vec::new(),
+            rr_icnt: 0,
+            rr_l2dram: 0,
+            stats: PartitionStats::default(),
+        }
+    }
+
+    /// The channel this partition serves.
+    pub fn channel(&self) -> usize {
+        self.channel
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> PartitionStats {
+        self.stats
+    }
+
+    /// The L2 slice (for stats).
+    pub fn l2(&self) -> &CacheSlice {
+        &self.l2
+    }
+
+    fn vc_of(&self, is_pim: bool) -> usize {
+        match self.vc_mode {
+            VcMode::Shared => 0,
+            VcMode::SplitPim => usize::from(is_pim),
+        }
+    }
+
+    /// Occupancy of the interconnect→L2 staging queue on `vc`.
+    pub fn icnt_q_len(&self, vc: usize) -> usize {
+        self.icnt_q[vc].len()
+    }
+
+    /// Occupancy of the L2→DRAM staging queue on `vc`.
+    pub fn l2dram_q_len(&self, vc: usize) -> usize {
+        self.l2dram_q[vc].len()
+    }
+
+    /// Number of virtual channels in this partition's staging queues.
+    pub fn vc_count(&self) -> usize {
+        self.icnt_q.len()
+    }
+
+    /// Whether the ejection queue can accept a request on `vc`.
+    pub fn can_eject(&self, vc: usize) -> bool {
+        self.icnt_q[vc].len() < self.icnt_cap_per_vc
+    }
+
+    /// Accepts a request from the interconnect on `vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (check [`Partition::can_eject`]).
+    pub fn eject(&mut self, vc: usize, req: Request) {
+        assert!(self.can_eject(vc), "icnt->L2 queue overflow");
+        self.icnt_q[vc].push_back(req);
+        self.stats.icnt_accepted += 1;
+    }
+
+    /// One GPU-clock step of the L2 stage. `alloc_id` mints request IDs
+    /// for fills and writebacks.
+    pub fn step_l2(&mut self, now: Cycle, alloc_id: &mut dyn FnMut() -> RequestId) {
+        self.process_fills(now, alloc_id);
+        self.drain_writebacks();
+        self.pop_icnt(now, alloc_id);
+        self.drain_l2_delay(now);
+    }
+
+    /// Installs at most one fill per cycle and releases its waiters.
+    fn process_fills(&mut self, now: Cycle, alloc_id: &mut dyn FnMut() -> RequestId) {
+        let Some(fill) = self.pending_fills.pop_front() else {
+            return;
+        };
+        let (waiters, writeback) = self.l2.fill(fill.addr, now);
+        if let Some(addr) = writeback {
+            self.pending_writebacks.push_back(Request::new(
+                alloc_id(),
+                fill.app,
+                RequestKind::MemWrite,
+                addr,
+                fill.src_port,
+                now,
+            ));
+        }
+        for w in waiters {
+            self.reply_out.push_back(w);
+        }
+    }
+
+    fn drain_writebacks(&mut self) {
+        let vc = self.vc_of(false);
+        while !self.pending_writebacks.is_empty()
+            && self.l2dram_q[vc].len() < self.l2dram_cap_per_vc
+        {
+            let wb = self.pending_writebacks.pop_front().expect("nonempty");
+            self.l2dram_q[vc].push_back(wb);
+            self.stats.writebacks_sent += 1;
+        }
+    }
+
+    /// L2 lookups per GPU cycle (the slice's banked tag pipeline).
+    const L2_LOOKUPS_PER_CYCLE: usize = 2;
+
+    /// Services up to [`Self::L2_LOOKUPS_PER_CYCLE`] icnt→L2 queue heads
+    /// per cycle, round-robin over VCs.
+    fn pop_icnt(&mut self, now: Cycle, alloc_id: &mut dyn FnMut() -> RequestId) {
+        let vcs = self.icnt_q.len();
+        for _ in 0..Self::L2_LOOKUPS_PER_CYCLE {
+            if self.reply_out.len() >= REPLY_OUT_CAP {
+                return; // backpressure from the reply network
+            }
+            let mut serviced = false;
+            for i in 0..vcs {
+                let vc = (self.rr_icnt + i) % vcs;
+                let Some(&head) = self.icnt_q[vc].front() else {
+                    continue;
+                };
+                if self.try_service_head(vc, head, now, alloc_id) {
+                    self.rr_icnt = (vc + 1) % vcs;
+                    serviced = true;
+                    break;
+                }
+                self.stats.icnt_head_stalls += 1;
+                // Head-of-line blocking: under VC1 a stuck head stalls
+                // everything; under VC2 the other VC still gets its turn.
+            }
+            if !serviced {
+                return;
+            }
+        }
+    }
+
+    /// Attempts to service one queue head; returns whether it was consumed.
+    fn try_service_head(
+        &mut self,
+        vc: usize,
+        head: Request,
+        now: Cycle,
+        alloc_id: &mut dyn FnMut() -> RequestId,
+    ) -> bool {
+        if head.kind.is_pim() {
+            // PIM bypasses the L2 entirely.
+            let dvc = self.vc_of(true);
+            if self.l2dram_q[dvc].len() < self.l2dram_cap_per_vc {
+                self.icnt_q[vc].pop_front();
+                self.l2dram_q[dvc].push_back(head);
+                return true;
+            }
+            return false;
+        }
+        // MEM: a miss needs L2→DRAM space for its fill; check first so the
+        // lookup never has to be undone.
+        let dvc = self.vc_of(false);
+        if self.l2dram_q[dvc].len() >= self.l2dram_cap_per_vc {
+            return false;
+        }
+        match self.l2.access(head, now) {
+            AccessOutcome::Hit => {
+                self.icnt_q[vc].pop_front();
+                self.l2_delay.push_back((now + self.l2.latency(), head));
+                true
+            }
+            AccessOutcome::MissAllocated => {
+                self.icnt_q[vc].pop_front();
+                let fill = Request::new(
+                    alloc_id(),
+                    head.app,
+                    RequestKind::MemRead,
+                    self.l2.line_addr(head.addr),
+                    head.src_port,
+                    now,
+                );
+                self.l2dram_q[dvc].push_back(fill);
+                self.stats.fills_sent += 1;
+                true
+            }
+            AccessOutcome::MissMerged => {
+                self.icnt_q[vc].pop_front();
+                true
+            }
+            AccessOutcome::Blocked => false,
+        }
+    }
+
+    fn drain_l2_delay(&mut self, now: Cycle) {
+        while let Some(&(ready, req)) = self.l2_delay.front() {
+            if ready <= now {
+                self.l2_delay.pop_front();
+                self.reply_out.push_back(req);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// One DRAM-clock step: ingest from L2→DRAM queues, advance the MC,
+    /// and sort its completions.
+    pub fn step_dram(&mut self, dram_now: Cycle, mapper: &AddressMapper) {
+        // Fast path: a fully idle controller with nothing to ingest can
+        // skip the cycle entirely (common while a GPU-bound kernel
+        // computes). Occupancy/BLP integrals skip these cycles too, which
+        // only affects diagnostic averages.
+        if self.l2dram_q.iter().all(std::collections::VecDeque::is_empty)
+            && self.mc.is_idle(dram_now)
+        {
+            return;
+        }
+        // Ingest up to two requests per DRAM cycle, round-robin over VCs,
+        // so queue entry never outpaces what the DRAM can service.
+        let vcs = self.l2dram_q.len();
+        for _ in 0..2 {
+            let mut ingested = false;
+            for i in 0..vcs {
+                let vc = (self.rr_l2dram + i) % vcs;
+                let Some(&head) = self.l2dram_q[vc].front() else {
+                    continue;
+                };
+                let is_pim = head.kind.is_pim();
+                if !self.mc.can_accept(is_pim) {
+                    continue;
+                }
+                self.l2dram_q[vc].pop_front();
+                let decoded = match head.kind {
+                    RequestKind::Pim(cmd) => DecodedAddr {
+                        channel: cmd.channel,
+                        bank: 0,
+                        row: cmd.row,
+                        col: u32::from(cmd.col),
+                    },
+                    _ => {
+                        let d = mapper.decode(head.addr);
+                        debug_assert_eq!(
+                            d.channel as usize, self.channel,
+                            "request routed to the wrong partition"
+                        );
+                        d
+                    }
+                };
+                self.mc.enqueue(head, decoded, dram_now);
+                self.rr_l2dram = (vc + 1) % vcs;
+                ingested = true;
+                break;
+            }
+            if !ingested {
+                break;
+            }
+        }
+        self.mc.step(dram_now);
+        for Completion { req, .. } in self.mc.pop_completions(dram_now) {
+            match req.kind {
+                RequestKind::Pim(_) => self.pim_acks.push(req),
+                RequestKind::MemRead => self.pending_fills.push_back(req),
+                RequestKind::MemWrite => {} // writeback retired
+            }
+        }
+    }
+
+    /// Takes the PIM acks accumulated since the last call.
+    pub fn take_pim_acks(&mut self) -> Vec<Request> {
+        std::mem::take(&mut self.pim_acks)
+    }
+
+    /// The next MEM reply awaiting the reply network, if any.
+    pub fn peek_reply(&self) -> Option<&Request> {
+        self.reply_out.front()
+    }
+
+    /// Pops the reply previously returned by [`Partition::peek_reply`].
+    pub fn pop_reply(&mut self) -> Option<Request> {
+        self.reply_out.pop_front()
+    }
+
+    /// Whether the partition holds no work at all.
+    pub fn is_idle(&self, dram_now: Cycle) -> bool {
+        self.icnt_q.iter().all(VecDeque::is_empty)
+            && self.l2dram_q.iter().all(VecDeque::is_empty)
+            && self.l2_delay.is_empty()
+            && self.pending_fills.is_empty()
+            && self.pending_writebacks.is_empty()
+            && self.reply_out.is_empty()
+            && self.pim_acks.is_empty()
+            && self.mc.is_idle(dram_now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_core::policy::PolicyKind;
+    use pimsim_types::{AppId, PhysAddr, PimCommand, PimOpKind};
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    fn partition(c: &SystemConfig) -> Partition {
+        Partition::new(0, c, PolicyKind::FrFcfs.build())
+    }
+
+    fn mapper(c: &SystemConfig) -> AddressMapper {
+        AddressMapper::new(&c.addr_map, &c.dram, c.dram_word_bytes())
+    }
+
+    fn mem_read(id: u64, addr: u64) -> Request {
+        Request::new(
+            RequestId(id),
+            AppId::GPU,
+            RequestKind::MemRead,
+            PhysAddr(addr),
+            3,
+            0,
+        )
+    }
+
+    fn pim_load(id: u64) -> Request {
+        let cmd = PimCommand {
+            op: PimOpKind::RfLoad,
+            channel: 0,
+            row: 4 + id as u32,
+            col: 0,
+            rf_entry: 0,
+            block_start: true,
+            block_id: id,
+        };
+        Request::new(RequestId(id), AppId::PIM, RequestKind::Pim(cmd), PhysAddr(0), 8, 0)
+    }
+
+    /// Drives the partition until quiet, returning delivered MEM replies
+    /// and PIM acks.
+    fn drive(p: &mut Partition, m: &AddressMapper, cycles: u64) -> (Vec<Request>, Vec<Request>) {
+        let mut next_id = 1_000_000u64;
+        let mut alloc = move || {
+            next_id += 1;
+            RequestId(next_id)
+        };
+        let mut replies = Vec::new();
+        let mut acks = Vec::new();
+        for now in 0..cycles {
+            p.step_l2(now, &mut alloc);
+            p.step_dram(now, m); // 1:1 clocks are fine for unit tests
+            acks.extend(p.take_pim_acks());
+            while let Some(r) = p.pop_reply() {
+                replies.push(r);
+            }
+        }
+        (replies, acks)
+    }
+
+    #[test]
+    fn mem_read_misses_fills_and_replies() {
+        let c = cfg();
+        let mut p = partition(&c);
+        let m = mapper(&c);
+        p.eject(0, mem_read(1, 0x40));
+        let (replies, acks) = drive(&mut p, &m, 300);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].id, RequestId(1));
+        assert!(acks.is_empty());
+        assert_eq!(p.stats().fills_sent, 1);
+        assert!(p.is_idle(300));
+    }
+
+    #[test]
+    fn second_access_hits_in_l2() {
+        let c = cfg();
+        let mut p = partition(&c);
+        let m = mapper(&c);
+        p.eject(0, mem_read(1, 0x40));
+        let _ = drive(&mut p, &m, 300);
+        p.eject(0, mem_read(2, 0x40));
+        let (replies, _) = drive(&mut p, &m, 100);
+        assert_eq!(replies.len(), 1, "hit must reply without DRAM");
+        assert_eq!(p.stats().fills_sent, 1, "no second fill");
+    }
+
+    #[test]
+    fn pim_bypasses_l2() {
+        let c = cfg();
+        let mut p = partition(&c);
+        let m = mapper(&c);
+        p.eject(0, pim_load(5));
+        let (replies, acks) = drive(&mut p, &m, 300);
+        assert!(replies.is_empty());
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].id, RequestId(5));
+        assert_eq!(p.l2().stats().hits + p.l2().stats().misses, 0, "L2 untouched");
+    }
+
+    #[test]
+    fn vc1_pim_blocks_mem_behind_it() {
+        // Fill the MC PIM path so PIM heads stall the shared queue.
+        let mut c = cfg();
+        c.mc.l2_to_dram_entries = 2;
+        c.mc.pim_q_entries = 1;
+        let mut p = Partition::new(0, &c, PolicyKind::MemFirst.build());
+        let _m = mapper(&c);
+        // Many PIM requests then one MEM request in the shared VC.
+        for i in 0..8 {
+            if p.can_eject(0) {
+                p.eject(0, pim_load(i));
+            }
+        }
+        if p.can_eject(0) {
+            p.eject(0, mem_read(100, 0x40));
+        }
+        // After a few cycles with a tiny PIM queue, the MEM request is
+        // still behind undrained PIM heads.
+        let mut next_id = 1_000_000u64;
+        let mut alloc = move || {
+            next_id += 1;
+            RequestId(next_id)
+        };
+        for now in 0..3 {
+            p.step_l2(now, &mut alloc);
+        }
+        assert_eq!(p.stats().fills_sent, 0, "MEM must be stuck behind PIM heads");
+    }
+
+    #[test]
+    fn vc2_lets_mem_pass_stuck_pim() {
+        let mut c = cfg();
+        c.noc.vc_mode = VcMode::SplitPim;
+        c.mc.pim_q_entries = 1;
+        c.mc.l2_to_dram_entries = 4; // 2 per VC
+        let mut p = Partition::new(0, &c, PolicyKind::MemFirst.build());
+        let m = mapper(&c);
+        for i in 0..4 {
+            if p.can_eject(1) {
+                p.eject(1, pim_load(i));
+            }
+        }
+        p.eject(0, mem_read(100, 0x40));
+        let (replies, _) = drive(&mut p, &m, 300);
+        assert_eq!(replies.len(), 1, "MEM must complete via its own VC");
+        let _ = m;
+    }
+
+    #[test]
+    fn eject_capacity_is_enforced() {
+        let c = cfg();
+        let mut p = partition(&c);
+        let cap = c.mc.icnt_to_l2_entries; // single VC
+        for i in 0..cap as u64 {
+            assert!(p.can_eject(0));
+            p.eject(0, mem_read(i, i * 32));
+        }
+        assert!(!p.can_eject(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn eject_overflow_panics() {
+        let c = cfg();
+        let mut p = partition(&c);
+        for i in 0..=c.mc.icnt_to_l2_entries as u64 {
+            p.eject(0, mem_read(i, i * 32));
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The full-system simulator: SMs → request crossbar → memory partitions
+//! (L2 + MC + DRAM) → reply crossbar → SMs, with the GPU and DRAM clock
+//! domains of Table I.
+
+use std::collections::HashMap;
+
+use pimsim_dram::AddressMapper;
+use pimsim_gpu::KernelModel;
+use pimsim_noc::Crossbar;
+use pimsim_types::{
+    AppId, Cycle, Request, RequestId, RequestKind, SystemConfig, VcMode,
+};
+
+use crate::partition::Partition;
+
+/// A kernel mounted on a set of SMs.
+pub struct MountedKernel {
+    /// The kernel model.
+    pub model: Box<dyn KernelModel>,
+    /// Global SM indices this kernel occupies (slot `i` = `sms[i]`).
+    pub sms: Vec<usize>,
+    /// Whether this kernel issues PIM requests.
+    pub is_pim: bool,
+    /// Restart the kernel when it completes (the paper's "run in a loop"
+    /// methodology).
+    pub restart: bool,
+    /// GPU cycle the current run started.
+    pub run_started: Cycle,
+    /// Execution time (GPU cycles) of the first completed run.
+    pub first_run_cycles: Option<u64>,
+    /// Completed runs.
+    pub runs: u64,
+    /// Requests injected into the interconnect by this kernel.
+    pub icnt_injections: u64,
+}
+
+impl std::fmt::Debug for MountedKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MountedKernel")
+            .field("name", &self.model.name())
+            .field("sms", &self.sms.len())
+            .field("is_pim", &self.is_pim)
+            .field("runs", &self.runs)
+            .finish()
+    }
+}
+
+/// Error returned when a simulation exceeds its cycle budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleBudgetExceeded {
+    /// The budget that was exhausted.
+    pub max_gpu_cycles: u64,
+    /// Human-readable progress description.
+    pub progress: String,
+}
+
+impl std::fmt::Display for CycleBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation exceeded {} GPU cycles ({})",
+            self.max_gpu_cycles, self.progress
+        )
+    }
+}
+
+impl std::error::Error for CycleBudgetExceeded {}
+
+/// The full-system simulator.
+///
+/// # Example
+///
+/// ```no_run
+/// use pimsim_core::policy::PolicyKind;
+/// use pimsim_sim::Simulator;
+/// use pimsim_types::SystemConfig;
+/// use pimsim_workloads::{gpu_kernel, rodinia::GpuBenchmark};
+///
+/// let cfg = SystemConfig::default();
+/// let mut sim = Simulator::new(cfg, PolicyKind::FrFcfs);
+/// let k = gpu_kernel(GpuBenchmark(3), 80, 0.2);
+/// sim.mount(Box::new(k), (0..80).collect(), false, false);
+/// let cycles = sim.run_until_all_first_done(50_000_000).unwrap();
+/// assert!(cycles > 0);
+/// ```
+pub struct Simulator {
+    cfg: SystemConfig,
+    mapper: AddressMapper,
+    req_xbar: Crossbar,
+    reply_xbar: Crossbar,
+    partitions: Vec<Partition>,
+    kernels: Vec<MountedKernel>,
+    /// Global SM index -> (kernel index, slot index).
+    sm_map: Vec<Option<(usize, usize)>>,
+    /// Outstanding requests per global SM (MEM kernels' throttle).
+    sm_outstanding: Vec<usize>,
+    /// RequestId -> (kernel, slot) for completion routing.
+    inflight: HashMap<u64, (usize, usize)>,
+    gpu_cycle: Cycle,
+    dram_cycle: Cycle,
+    dram_acc: f64,
+    next_id: u64,
+}
+
+impl Simulator {
+    /// Builds an empty simulator; mount kernels before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: SystemConfig, policy: pimsim_core::PolicyKind) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        let channels = cfg.dram.channels;
+        let sms = cfg.gpu.num_sms;
+        let mapper = AddressMapper::new(&cfg.addr_map, &cfg.dram, cfg.dram_word_bytes());
+        let partitions = (0..channels)
+            .map(|c| Partition::new(c, &cfg, policy.build()))
+            .collect();
+        Simulator {
+            req_xbar: Crossbar::new(sms, channels, cfg.noc.input_queue_entries, cfg.noc.vc_mode)
+                .with_iterations(cfg.noc.islip_iterations),
+            reply_xbar: Crossbar::new(channels, sms, cfg.noc.reply_queue_entries, VcMode::Shared),
+            partitions,
+            kernels: Vec::new(),
+            sm_map: vec![None; sms],
+            sm_outstanding: vec![0; sms],
+            inflight: HashMap::new(),
+            gpu_cycle: 0,
+            dram_cycle: 0,
+            dram_acc: 0.0,
+            next_id: 0,
+            mapper,
+            cfg,
+        }
+    }
+
+    /// Mounts `model` on the given global SM indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an SM is already occupied, out of range, or the SM count
+    /// does not match the model's slot count.
+    pub fn mount(
+        &mut self,
+        model: Box<dyn KernelModel>,
+        sms: Vec<usize>,
+        is_pim: bool,
+        restart: bool,
+    ) -> usize {
+        assert_eq!(
+            sms.len(),
+            model.num_slots(),
+            "SM count must match the kernel's slots"
+        );
+        let idx = self.kernels.len();
+        for (slot, &sm) in sms.iter().enumerate() {
+            assert!(sm < self.sm_map.len(), "SM index out of range");
+            assert!(self.sm_map[sm].is_none(), "SM {sm} already occupied");
+            self.sm_map[sm] = Some((idx, slot));
+        }
+        self.kernels.push(MountedKernel {
+            model,
+            sms,
+            is_pim,
+            restart,
+            run_started: self.gpu_cycle,
+            first_run_cycles: None,
+            runs: 0,
+            icnt_injections: 0,
+        });
+        idx
+    }
+
+    /// The mounted kernels.
+    pub fn kernels(&self) -> &[MountedKernel] {
+        &self.kernels
+    }
+
+    /// The memory partitions (for stats).
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// GPU cycles elapsed.
+    pub fn gpu_cycles(&self) -> u64 {
+        self.gpu_cycle
+    }
+
+    /// DRAM cycles elapsed.
+    pub fn dram_cycles(&self) -> u64 {
+        self.dram_cycle
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Total flits buffered in the request network's input queues.
+    pub fn request_noc_occupancy(&self) -> usize {
+        self.req_xbar.total_occupancy()
+    }
+
+    /// Request-network counters.
+    pub fn request_noc_stats(&self) -> pimsim_noc::CrossbarStats {
+        self.req_xbar.stats()
+    }
+
+    fn alloc_id(next: &mut u64) -> RequestId {
+        let id = RequestId(*next);
+        *next += 1;
+        id
+    }
+
+    /// One GPU cycle of the whole system.
+    pub fn step(&mut self) {
+        let now = self.gpu_cycle;
+
+        // 1. SM issue stage.
+        self.issue_from_sms(now);
+
+        // 2. Request network.
+        let (req_xbar, partitions) = (&mut self.req_xbar, &mut self.partitions);
+        req_xbar.step(now, |out, vc, req| {
+            if partitions[out].can_eject(vc) {
+                partitions[out].eject(vc, *req);
+                true
+            } else {
+                false
+            }
+        });
+
+        // 3. L2 stage per partition.
+        let next_id = &mut self.next_id;
+        for p in self.partitions.iter_mut() {
+            let mut alloc = || Self::alloc_id(next_id);
+            p.step_l2(now, &mut alloc);
+        }
+
+        // 4. DRAM clock domain.
+        self.dram_acc += self.cfg.dram_per_gpu_cycle();
+        while self.dram_acc >= 1.0 {
+            self.dram_acc -= 1.0;
+            let dram_now = self.dram_cycle;
+            for p in self.partitions.iter_mut() {
+                p.step_dram(dram_now, &self.mapper);
+            }
+            self.dram_cycle += 1;
+        }
+
+        // 5. PIM acks (credit return, out-of-band).
+        for c in 0..self.partitions.len() {
+            for ack in self.partitions[c].take_pim_acks() {
+                self.complete_request(&ack, now);
+            }
+        }
+
+        // 6. Reply network: inject from partitions, deliver to SMs.
+        for c in 0..self.partitions.len() {
+            while let Some(rep) = self.partitions[c].peek_reply() {
+                let dest = rep.src_port as usize;
+                if self.reply_xbar.can_inject(c, false) {
+                    let rep = self.partitions[c].pop_reply().expect("peeked");
+                    self.reply_xbar
+                        .try_inject(c, rep, dest)
+                        .expect("capacity checked");
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut delivered: Vec<Request> = Vec::new();
+        self.reply_xbar.step(now, |_sm, _vc, req| {
+            delivered.push(*req);
+            true
+        });
+        for rep in delivered {
+            self.complete_request(&rep, now);
+        }
+
+        // 7. Kernel completion / restart bookkeeping.
+        self.check_kernel_completion(now);
+
+        self.gpu_cycle += 1;
+    }
+
+    fn issue_from_sms(&mut self, now: Cycle) {
+        for sm in 0..self.sm_map.len() {
+            let Some((k, slot)) = self.sm_map[sm] else {
+                continue;
+            };
+            let kernel = &mut self.kernels[k];
+            let is_pim = kernel.is_pim;
+            // MEM kernels are throttled by the SM's outstanding cap; PIM
+            // kernels self-throttle per warp (store-buffer credits).
+            if !is_pim && self.sm_outstanding[sm] >= self.cfg.gpu.max_outstanding_mem_per_sm {
+                continue;
+            }
+            if !self.req_xbar.can_inject(sm, is_pim) {
+                continue;
+            }
+            let id = Self::alloc_id(&mut self.next_id);
+            let Some(issued) = kernel.model.try_issue(slot, now, id) else {
+                continue;
+            };
+            debug_assert_eq!(issued.kind.is_pim(), is_pim);
+            let req = Request::new(
+                id,
+                if is_pim { AppId::PIM } else { AppId::GPU },
+                issued.kind,
+                issued.addr,
+                sm as u16,
+                now,
+            );
+            let dest = match issued.kind {
+                RequestKind::Pim(cmd) => cmd.channel as usize,
+                _ => self.mapper.decode(issued.addr).channel as usize,
+            };
+            self.req_xbar
+                .try_inject(sm, req, dest)
+                .expect("capacity checked");
+            kernel.icnt_injections += 1;
+            self.inflight.insert(id.0, (k, slot));
+            if !is_pim {
+                self.sm_outstanding[sm] += 1;
+            }
+        }
+    }
+
+    fn complete_request(&mut self, req: &Request, now: Cycle) {
+        let Some((k, slot)) = self.inflight.remove(&req.id.0) else {
+            // Fills and writebacks are simulator-internal: not in the map.
+            return;
+        };
+        let kernel = &mut self.kernels[k];
+        kernel.model.on_complete(slot, req.id, now);
+        if !kernel.is_pim {
+            let sm = kernel.sms[slot];
+            debug_assert!(self.sm_outstanding[sm] > 0);
+            self.sm_outstanding[sm] -= 1;
+        }
+    }
+
+    fn check_kernel_completion(&mut self, now: Cycle) {
+        for kernel in &mut self.kernels {
+            if !kernel.model.is_done() {
+                continue;
+            }
+            if kernel.restart {
+                let elapsed = now + 1 - kernel.run_started;
+                if kernel.first_run_cycles.is_none() {
+                    kernel.first_run_cycles = Some(elapsed);
+                }
+                kernel.runs += 1;
+                kernel.model.reset();
+                kernel.run_started = now + 1;
+            } else if kernel.first_run_cycles.is_none() {
+                kernel.first_run_cycles = Some(now + 1 - kernel.run_started);
+                kernel.runs = 1;
+            }
+        }
+    }
+
+    /// Runs until every mounted kernel has completed at least one run.
+    /// Returns the GPU cycles elapsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleBudgetExceeded`] if the budget runs out first.
+    pub fn run_until_all_first_done(
+        &mut self,
+        max_gpu_cycles: u64,
+    ) -> Result<u64, CycleBudgetExceeded> {
+        self.run_with_starvation_cutoff(max_gpu_cycles, None)
+    }
+
+    /// Like [`Simulator::run_until_all_first_done`], but additionally
+    /// declares starvation — and stops — once some kernel has completed
+    /// `cutoff_runs` full runs while another has not completed any. This
+    /// keeps denial-of-service cases (MEM-First, PIM-First, G&I) from
+    /// burning the entire cycle budget: a kernel that is still unfinished
+    /// after the co-runner looped that many times is starved for the
+    /// purposes of the fairness metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleBudgetExceeded`] on either the budget or the
+    /// starvation cutoff, with the per-kernel progress in the message.
+    pub fn run_with_starvation_cutoff(
+        &mut self,
+        max_gpu_cycles: u64,
+        cutoff_runs: Option<u64>,
+    ) -> Result<u64, CycleBudgetExceeded> {
+        while self.kernels.iter().any(|k| k.first_run_cycles.is_none()) {
+            let starved = cutoff_runs.is_some_and(|cut| {
+                self.kernels.iter().any(|k| k.runs >= cut)
+                    && self.kernels.iter().any(|k| k.first_run_cycles.is_none())
+            });
+            if self.gpu_cycle >= max_gpu_cycles || starved {
+                let progress = self
+                    .kernels
+                    .iter()
+                    .map(|k| {
+                        format!(
+                            "{}: runs={} first={:?}",
+                            k.model.name(),
+                            k.runs,
+                            k.first_run_cycles
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                return Err(CycleBudgetExceeded {
+                    max_gpu_cycles,
+                    progress,
+                });
+            }
+            self.step();
+        }
+        Ok(self.gpu_cycle)
+    }
+
+    /// Fills and writebacks are internal; MEM arrivals at the MC summed
+    /// over channels.
+    pub fn total_mem_arrivals(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.mc.stats().mem_arrivals)
+            .sum()
+    }
+
+    /// PIM arrivals at the MC summed over channels.
+    pub fn total_pim_arrivals(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.mc.stats().pim_arrivals)
+            .sum()
+    }
+
+    /// Merged DRAM command counters across channels (energy accounting).
+    pub fn merged_channel_stats(&self) -> pimsim_dram::ChannelStats {
+        let mut agg = pimsim_dram::ChannelStats::default();
+        for p in &self.partitions {
+            let s = p.mc.channel_stats();
+            agg.refreshes += s.refreshes;
+            agg.acts += s.acts;
+            agg.pres += s.pres;
+            agg.reads += s.reads;
+            agg.writes += s.writes;
+            agg.pim_ops += s.pim_ops;
+            agg.pim_blocks += s.pim_blocks;
+        }
+        agg
+    }
+
+    /// Total DRAM energy over the run under `energy` coefficients.
+    pub fn total_energy(&self, energy: &pimsim_dram::EnergyConfig) -> pimsim_dram::EnergyBreakdown {
+        pimsim_dram::channel_energy(
+            energy,
+            &self.merged_channel_stats(),
+            self.dram_cycle * self.partitions.len() as u64,
+            self.cfg.dram.banks as u32,
+        )
+    }
+
+    /// Merged controller stats across channels.
+    pub fn merged_mc_stats(&self) -> pimsim_core::McStats {
+        let mut agg = pimsim_core::McStats::default();
+        for p in &self.partitions {
+            agg.merge(p.mc.stats());
+        }
+        agg
+    }
+}

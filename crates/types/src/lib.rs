@@ -1,0 +1,39 @@
+//! Shared vocabulary types for the `pim-coscheduling` simulator.
+//!
+//! This crate defines the request, address, identifier, and configuration
+//! types that every other crate in the workspace builds on. It contains no
+//! simulation logic of its own.
+//!
+//! # Example
+//!
+//! ```
+//! use pimsim_types::{Request, RequestKind, PhysAddr, AppId, RequestId};
+//!
+//! let req = Request::new(
+//!     RequestId(0),
+//!     AppId::GPU,
+//!     RequestKind::MemRead,
+//!     PhysAddr(0x4000_0000),
+//!     3,
+//!     0,
+//! );
+//! assert!(req.kind.is_mem());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod request;
+
+pub use config::{
+    AddressMapConfig, CacheConfig, DramConfig, DramTiming, GpuConfig, McConfig, NocConfig,
+    PagePolicy, SystemConfig, VcMode,
+};
+pub use request::{
+    AppId, DecodedAddr, Mode, PhysAddr, PimCommand, PimOpKind, Request, RequestId, RequestKind,
+};
+
+/// A simulation cycle count. The clock domain (GPU core vs. DRAM) is
+/// documented at each use site.
+pub type Cycle = u64;

@@ -1,0 +1,69 @@
+//! The collaborative LLM scenario (Section III-B): overlap GPT-3-like QKV
+//! generation on the GPU with multi-head attention on PIM, and show how
+//! F3FS's asymmetric CAPs tune the overlap.
+//!
+//! ```sh
+//! cargo run --release --example llm_collaborative
+//! ```
+
+use pim_coscheduling::prelude::*;
+use pim_coscheduling::sim::CollabOutcome;
+use pim_coscheduling::stats::table::{f3, Table};
+use pim_coscheduling::workloads::llm_scenario;
+
+fn main() {
+    let scale = 0.2;
+    let system = SystemConfig::default();
+
+    // Standalone times: the speedup baseline is sequential execution.
+    let solo = Runner::new(system.clone(), PolicyKind::FrFcfs);
+    let s = llm_scenario(72, 32, 4, 256, scale);
+    let qkv_alone = solo
+        .standalone(Box::new(s.qkv), 8, false)
+        .expect("QKV standalone")
+        .cycles;
+    let s = llm_scenario(72, 32, 4, 256, scale);
+    let mha_alone = solo
+        .standalone(Box::new(s.mha), 0, true)
+        .expect("MHA standalone")
+        .cycles;
+    let ideal = CollabOutcome::ideal_speedup(qkv_alone, mha_alone);
+    println!("QKV alone: {qkv_alone} cycles, MHA alone: {mha_alone} cycles");
+    println!("sequential: {} cycles, ideal overlap speedup: {ideal:.3}\n", qkv_alone + mha_alone);
+
+    let mut t = Table::new(vec![
+        "policy".into(),
+        "MEM/PIM cap".into(),
+        "VC".into(),
+        "speedup vs sequential".into(),
+    ]);
+    // The paper's tuned CAPs: 256/128 under VC1, 64/64 under VC2, compared
+    // against plain FR-FCFS and the PIM-draining G&I.
+    let candidates: Vec<(PolicyKind, &str)> = vec![
+        (PolicyKind::FrFcfs, "-"),
+        (PolicyKind::GatherIssue { high: 56, low: 32 }, "-"),
+        (PolicyKind::F3fs { mem_cap: 32, pim_cap: 16 }, "32/16"),
+        (PolicyKind::F3fs { mem_cap: 8, pim_cap: 8 }, "8/8"),
+    ];
+    for vc in [VcMode::Shared, VcMode::SplitPim] {
+        for &(policy, caps) in &candidates {
+            let mut sys = system.clone();
+            sys.noc.vc_mode = vc;
+            let mut runner = Runner::new(sys, policy);
+            runner.max_gpu_cycles = 20_000_000;
+            let sc = llm_scenario(72, 32, 4, 256, scale);
+            let speedup = match runner.collaborative(Box::new(sc.qkv), Box::new(sc.mha)) {
+                Ok(out) => out.speedup(qkv_alone, mha_alone),
+                Err(_) => 0.0,
+            };
+            t.row(vec![
+                policy.label().into(),
+                caps.into(),
+                vc.label().into(),
+                f3(speedup),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Ideal = {:.3} (perfect overlap of the two stages)", ideal);
+}

@@ -1,0 +1,63 @@
+//! Compare all nine scheduling policies on one GPU/PIM pair, under both
+//! interconnect configurations (VC1 = shared queues, VC2 = separate PIM
+//! virtual channel).
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison
+//! ```
+
+use pim_coscheduling::prelude::*;
+use pim_coscheduling::stats::table::{f3, Table};
+
+fn main() {
+    let scale = 0.05;
+    let gpu = GpuBenchmark(11); // kmeans: heavy DRAM traffic
+    let pim = PimBenchmark(4); // Stream Scale: near-perfect row locality
+
+    // Policy-independent standalone baselines.
+    let base_runner = Runner::new(SystemConfig::default(), PolicyKind::FrFcfs);
+    let gpu_alone = base_runner
+        .standalone(Box::new(gpu_kernel(gpu, 80, scale)), 0, false)
+        .expect("GPU standalone")
+        .cycles;
+    let pim_alone = base_runner
+        .standalone(Box::new(pim_kernel(pim, 32, 4, 256, scale)), 0, true)
+        .expect("PIM standalone")
+        .cycles;
+
+    println!("co-executing {gpu} with {pim} (scale {scale})\n");
+    let mut t = Table::new(vec![
+        "policy".into(),
+        "VC".into(),
+        "MEM speedup".into(),
+        "PIM speedup".into(),
+        "fairness".into(),
+        "throughput".into(),
+        "switches".into(),
+    ]);
+    for vc in [VcMode::Shared, VcMode::SplitPim] {
+        for policy in PolicyKind::all() {
+            let mut system = SystemConfig::default();
+            system.noc.vc_mode = vc;
+            let mut runner = Runner::new(system, policy);
+            runner.max_gpu_cycles = 10_000_000;
+            let out = runner.coexec(
+                Box::new(gpu_kernel(gpu, 72, scale)),
+                Box::new(pim_kernel(pim, 32, 4, 256, scale)),
+                true,
+            );
+            let m = out.metrics(gpu_alone, pim_alone);
+            t.row(vec![
+                policy.label().into(),
+                vc.label().into(),
+                f3(m.mem_speedup),
+                f3(m.pim_speedup),
+                f3(m.fairness_index()),
+                f3(m.system_throughput()),
+                out.mc.switches.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("(starved kernels report a speedup of 0 — the paper's fairness-index-0 cases)");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: co-run one GPU kernel with one PIM kernel and print the
+//! paper's key metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pim_coscheduling::prelude::*;
+
+fn main() {
+    // Table I system: 80 SMs, 32 HBM channels x 16 banks, 6 MB L2.
+    let system = SystemConfig::default();
+    let scale = 0.05; // fast demo footprint
+
+    // F3FS with the symmetric competitive CAP (scaled from the paper's 256).
+    let policy = PolicyKind::f3fs_competitive();
+
+    // Standalone baselines: the GPU kernel alone on all 80 SMs, the PIM
+    // kernel alone on 8 SMs (32 warps, one per channel).
+    let runner = Runner::new(system.clone(), policy);
+    let gpu_alone = runner
+        .standalone(Box::new(gpu_kernel(GpuBenchmark(4), 80, scale)), 0, false)
+        .expect("GPU standalone run")
+        .cycles;
+    let pim_alone = runner
+        .standalone(Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, scale)), 0, true)
+        .expect("PIM standalone run")
+        .cycles;
+    println!("standalone: G4 (cfd) = {gpu_alone} cycles, P1 (Stream Add) = {pim_alone} cycles");
+
+    // Competitive co-execution: GPU on 72 SMs, PIM on 8, looped until each
+    // completes one run (the paper's methodology).
+    let out = runner.coexec(
+        Box::new(gpu_kernel(GpuBenchmark(4), 72, scale)),
+        Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, scale)),
+        true,
+    );
+    let m = out.metrics(gpu_alone, pim_alone);
+    println!(
+        "co-execution under {}: GPU first run = {} cycles, PIM first run = {} cycles",
+        policy,
+        out.gpu_first_run,
+        out.pim_first_run
+    );
+    println!(
+        "speedups: MEM {:.3}, PIM {:.3} | fairness index {:.3} | system throughput {:.3}",
+        m.mem_speedup,
+        m.pim_speedup,
+        m.fairness_index(),
+        m.system_throughput()
+    );
+    println!(
+        "memory controller: {} mode switches, MEM RBHR {:.1}%, avg BLP {:.1}",
+        out.mc.switches,
+        out.mc.mem_rbhr().unwrap_or(0.0) * 100.0,
+        out.mc.avg_blp().unwrap_or(0.0)
+    );
+}

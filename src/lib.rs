@@ -1,0 +1,68 @@
+//! # pim-coscheduling
+//!
+//! A cycle-level reproduction of *"Concurrent PIM and Load/Store Servicing
+//! in PIM-Enabled Memory"* (ISPASS 2025): a PIM-enabled GPU memory
+//! subsystem simulator, the paper's nine memory-controller scheduling
+//! policies — including the proposed **F3FS** — the separate-PIM-virtual-
+//! channel interconnect, and a benchmark harness regenerating every figure
+//! of the evaluation.
+//!
+//! This facade crate re-exports the workspace's crates under one roof:
+//!
+//! * [`types`] — requests, addresses, configuration (Table I defaults).
+//! * [`stats`] — metrics: fairness index, system throughput, quartiles.
+//! * [`dram`] — HBM channel/bank timing model with all-bank PIM mode.
+//! * [`noc`] — input-queued crossbar with VC1/VC2 and modified iSlip.
+//! * [`cache`] — sliced write-back L2 with MSHRs; PIM bypasses it.
+//! * [`gpu`] — SM kernel models (synthetic MEM kernels, block-structured
+//!   PIM kernels).
+//! * [`core`] — the PIM-aware memory controller and all scheduling
+//!   policies.
+//! * [`workloads`] — Rodinia-like suite (G1–G20), PIM suite (P1–P9), and
+//!   the GPT-3-like collaborative LLM scenario.
+//! * [`sim`] — the full-system simulator, run harnesses, and experiment
+//!   drivers.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use pim_coscheduling::prelude::*;
+//!
+//! // Co-run a Rodinia-like GPU kernel with a PIM STREAM kernel under
+//! // F3FS with the paper's competitive CAPs.
+//! let runner = Runner::new(
+//!     SystemConfig::default(),
+//!     PolicyKind::f3fs_competitive(),
+//! );
+//! let gpu = gpu_kernel(GpuBenchmark(4), 72, 0.1);
+//! let pim = pim_kernel(PimBenchmark(1), 32, 4, 256, 0.1);
+//! let out = runner.coexec(Box::new(gpu), Box::new(pim), true);
+//! println!(
+//!     "GPU first run {} cycles, PIM first run {} cycles",
+//!     out.gpu_first_run, out.pim_first_run
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pimsim_cache as cache;
+pub use pimsim_core as core;
+pub use pimsim_dram as dram;
+pub use pimsim_gpu as gpu;
+pub use pimsim_noc as noc;
+pub use pimsim_sim as sim;
+pub use pimsim_stats as stats;
+pub use pimsim_types as types;
+pub use pimsim_workloads as workloads;
+
+/// The most common imports for driving simulations.
+pub mod prelude {
+    pub use pimsim_core::policy::PolicyKind;
+    pub use pimsim_sim::{CoexecOutcome, CollabOutcome, Runner, Simulator, SoloOutcome};
+    pub use pimsim_stats::metrics::{fairness_index, system_throughput};
+    pub use pimsim_types::{Mode, SystemConfig, VcMode};
+    pub use pimsim_workloads::{
+        gpu_kernel, llm_scenario, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark,
+    };
+}

@@ -1,0 +1,231 @@
+//! Cross-crate integration tests: request conservation, starvation
+//! freedom, ordering, determinism, and the paper's directional claims,
+//! exercised through the full simulator stack.
+
+use pim_coscheduling::prelude::*;
+use pim_coscheduling::sim::Simulator;
+use pim_coscheduling::workloads::{gpu_kernel, pim_kernel};
+
+const SCALE: f64 = 0.03;
+const BUDGET: u64 = 6_000_000;
+
+fn runner(policy: PolicyKind, vc: VcMode) -> pim_coscheduling::sim::Runner {
+    let mut system = SystemConfig::default();
+    system.noc.vc_mode = vc;
+    let mut r = pim_coscheduling::sim::Runner::new(system, policy);
+    r.max_gpu_cycles = BUDGET;
+    r
+}
+
+#[test]
+fn request_conservation_standalone_gpu() {
+    // Every injected request is eventually serviced exactly once: DRAM
+    // arrivals equal DRAM services, and the kernel completes.
+    let r = runner(PolicyKind::FrFcfs, VcMode::Shared);
+    let out = r
+        .standalone(Box::new(gpu_kernel(GpuBenchmark(3), 40, SCALE)), 0, false)
+        .expect("finishes");
+    assert_eq!(out.mc.mem_arrivals, out.mc.mem_served, "no request lost or duplicated");
+    assert_eq!(out.mc.pim_arrivals, 0);
+}
+
+#[test]
+fn request_conservation_standalone_pim() {
+    let r = runner(PolicyKind::FrFcfs, VcMode::Shared);
+    let k = pim_kernel(PimBenchmark(3), 32, 4, 256, SCALE);
+    let total = pim_coscheduling::gpu::KernelModel::total_requests(&k);
+    let out = r.standalone(Box::new(k), 0, true).expect("finishes");
+    assert_eq!(out.mc.pim_arrivals, total);
+    assert_eq!(out.mc.pim_served, total);
+    assert_eq!(out.mc.mem_arrivals, 0, "PIM must bypass the L2 and never read DRAM as MEM");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow under debug: run with --release")]
+fn every_policy_completes_coexecution_under_vc2() {
+    // Starvation freedom under VC2 for the fair policies; the pathological
+    // ones (MEM-First / PIM-First / G&I) are allowed to starve one side
+    // but must still service the favored kernel.
+    for policy in PolicyKind::all() {
+        let r = runner(policy, VcMode::SplitPim);
+        let out = r.coexec(
+            Box::new(gpu_kernel(GpuBenchmark(5), 72, SCALE)),
+            Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, SCALE)),
+            true,
+        );
+        let fair = !matches!(
+            policy,
+            PolicyKind::MemFirst | PolicyKind::PimFirst | PolicyKind::GatherIssue { .. }
+        );
+        if fair {
+            assert!(
+                !out.gpu_starved && !out.pim_starved,
+                "{policy} starved a kernel under VC2"
+            );
+        } else {
+            assert!(
+                !out.gpu_starved || !out.pim_starved,
+                "{policy} starved both kernels"
+            );
+        }
+        assert!(out.mc.mem_served > 0 || out.mc.pim_served > 0);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow under debug: run with --release")]
+fn f3fs_is_starvation_free_in_both_vc_configs() {
+    for vc in [VcMode::Shared, VcMode::SplitPim] {
+        let r = runner(PolicyKind::f3fs_competitive(), vc);
+        let out = r.coexec(
+            Box::new(gpu_kernel(GpuBenchmark(15), 72, SCALE)),
+            Box::new(pim_kernel(PimBenchmark(4), 32, 4, 256, SCALE)),
+            true,
+        );
+        assert!(!out.gpu_starved, "F3FS must not starve the GPU kernel ({vc})");
+        assert!(!out.pim_starved, "F3FS must not starve the PIM kernel ({vc})");
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow under debug: run with --release")]
+fn determinism_across_runs_and_policies() {
+    for policy in [PolicyKind::FrRrFcfs, PolicyKind::f3fs_competitive()] {
+        let run = || {
+            let r = runner(policy, VcMode::SplitPim);
+            r.coexec(
+                Box::new(gpu_kernel(GpuBenchmark(9), 72, SCALE)),
+                Box::new(pim_kernel(PimBenchmark(5), 32, 4, 256, SCALE)),
+                true,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.gpu_first_run, b.gpu_first_run, "{policy}");
+        assert_eq!(a.pim_first_run, b.pim_first_run, "{policy}");
+        assert_eq!(a.mc.switches, b.mc.switches, "{policy}");
+        assert_eq!(a.mc.mem_row_hits, b.mc.mem_row_hits, "{policy}");
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow under debug: run with --release")]
+fn pim_first_starves_gpu_and_mem_first_hurts_pim() {
+    // Directional claims from Section VI-A.
+    let r = runner(PolicyKind::PimFirst, VcMode::Shared);
+    let out = r.coexec(
+        Box::new(gpu_kernel(GpuBenchmark(2), 72, SCALE)),
+        Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+        true,
+    );
+    assert!(out.gpu_starved, "PIM-First must deny service to the GPU kernel");
+
+    let r = runner(PolicyKind::MemFirst, VcMode::SplitPim);
+    let out2 = r.coexec(
+        Box::new(gpu_kernel(GpuBenchmark(2), 72, SCALE)),
+        Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+        true,
+    );
+    assert!(
+        out2.pim_first_run > out.pim_first_run,
+        "MEM-First must slow PIM down relative to PIM-First"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow under debug: run with --release")]
+fn f3fs_switches_less_than_fr_rr_fcfs() {
+    // Section VII-B: F3FS improves throughput by switching less often.
+    let pair = |policy| {
+        let r = runner(policy, VcMode::Shared);
+        r.coexec(
+            Box::new(gpu_kernel(GpuBenchmark(11), 72, SCALE)),
+            Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+            true,
+        )
+        .mc
+        .switches
+    };
+    let f3fs = pair(PolicyKind::f3fs_competitive());
+    let frrr = pair(PolicyKind::FrRrFcfs);
+    assert!(
+        f3fs < frrr,
+        "F3FS ({f3fs} switches) must switch less than FR-RR-FCFS ({frrr})"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow under debug: run with --release")]
+fn vc2_improves_mem_first_arrival_rate() {
+    // The Figure 6 headline: MEM-First benefits most from the PIM VC.
+    let rate = |vc| {
+        let r = runner(PolicyKind::MemFirst, vc);
+        r.coexec(
+            Box::new(gpu_kernel(GpuBenchmark(8), 72, SCALE * 3.0)),
+            Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE * 3.0)),
+            true,
+        )
+        .mem_arrival_rate()
+    };
+    let vc1 = rate(VcMode::Shared);
+    let vc2 = rate(VcMode::SplitPim);
+    assert!(
+        vc2 > vc1 * 1.2,
+        "VC2 must improve MEM-First's MEM arrival rate (vc1 {vc1:.1}, vc2 {vc2:.1})"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow under debug: run with --release")]
+fn mode_switch_accounting_is_consistent() {
+    let r = runner(PolicyKind::Fcfs, VcMode::Shared);
+    let out = r.coexec(
+        Box::new(gpu_kernel(GpuBenchmark(16), 72, SCALE)),
+        Box::new(pim_kernel(PimBenchmark(6), 32, 4, 256, SCALE)),
+        true,
+    );
+    let s = &out.mc;
+    assert!(s.switches >= s.switches_mem_to_pim);
+    assert!(
+        s.switches_mem_to_pim * 2 + 64 >= s.switches,
+        "MEM->PIM and PIM->MEM switches must alternate per channel"
+    );
+    assert!(s.mem_row_hits + s.mem_row_misses == s.mem_served);
+    assert!(s.pim_row_hits + s.pim_row_misses == s.pim_served);
+}
+
+#[test]
+fn gpu_on_more_sms_is_not_slower() {
+    // Sanity of the SM partitioning: the same kernel standalone on 80 SMs
+    // must not run slower than on 8 SMs.
+    let r = runner(PolicyKind::FrFcfs, VcMode::Shared);
+    let t80 = r
+        .standalone(Box::new(gpu_kernel(GpuBenchmark(13), 80, SCALE)), 0, false)
+        .expect("finishes")
+        .cycles;
+    let t8 = r
+        .standalone(Box::new(gpu_kernel(GpuBenchmark(13), 8, SCALE)), 0, false)
+        .expect("finishes")
+        .cycles;
+    assert!(t80 <= t8, "80 SMs ({t80}) slower than 8 SMs ({t8})");
+}
+
+#[test]
+fn simulator_rejects_overlapping_sm_assignment() {
+    let mut sim = Simulator::new(SystemConfig::default(), PolicyKind::FrFcfs);
+    sim.mount(
+        Box::new(gpu_kernel(GpuBenchmark(1), 8, SCALE)),
+        (0..8).collect(),
+        false,
+        false,
+    );
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.mount(
+            Box::new(gpu_kernel(GpuBenchmark(2), 8, SCALE)),
+            (4..12).collect(),
+            false,
+            false,
+        )
+    }));
+    assert!(result.is_err(), "overlapping SMs must be rejected");
+}

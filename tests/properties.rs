@@ -1,0 +1,280 @@
+//! Property-based tests (proptest) on the core substrates: the address
+//! mapper bijection, DRAM timing legality under arbitrary request
+//! streams, crossbar conservation, and policy sanity under arbitrary
+//! queue contents.
+
+use proptest::prelude::*;
+
+use pim_coscheduling::core::policy::{PolicyKind, PolicyView};
+use pim_coscheduling::core::queue::QueuedRequest;
+use pim_coscheduling::core::MemoryController;
+use pim_coscheduling::dram::{AddressMapper, Channel, DramCommand};
+use pim_coscheduling::noc::Crossbar;
+use pim_coscheduling::types::{
+    AddressMapConfig, AppId, DecodedAddr, Mode, PhysAddr, PimCommand, PimOpKind, Request,
+    RequestId, RequestKind, SystemConfig, VcMode,
+};
+
+fn mapper(ipoly: bool) -> AddressMapper {
+    let cfg = SystemConfig::default();
+    let map = if ipoly {
+        AddressMapConfig::IPolyHash
+    } else {
+        cfg.addr_map.clone()
+    };
+    AddressMapper::new(&map, &cfg.dram, cfg.dram_word_bytes())
+}
+
+proptest! {
+    /// decode then encode is the identity on word-aligned addresses (both
+    /// mapping schemes), i.e. the mapping is a bijection.
+    #[test]
+    fn address_mapping_roundtrips(addr in 0u64..(1 << 50), ipoly in any::<bool>()) {
+        let m = mapper(ipoly);
+        let aligned = addr & !31;
+        let d = m.decode(PhysAddr(aligned));
+        prop_assert_eq!(m.encode(d.channel, d.bank, d.row, d.col).0, aligned);
+    }
+
+    /// The latency histogram's quantiles are monotone in p and bounded by
+    /// the observed max, for arbitrary observation streams.
+    #[test]
+    fn histogram_quantiles_are_monotone(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        use pim_coscheduling::stats::Histogram;
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0u64;
+        for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let q = h.quantile(p).expect("nonempty");
+            prop_assert!(q >= last, "quantiles must be monotone");
+            prop_assert!(q <= h.max());
+            last = q;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Decoded coordinates always respect the geometry.
+    #[test]
+    fn decoded_coordinates_in_range(addr in 0u64..(1 << 50), ipoly in any::<bool>()) {
+        let cfg = SystemConfig::default();
+        let m = mapper(ipoly);
+        let d = m.decode(PhysAddr(addr));
+        prop_assert!((d.channel as usize) < cfg.dram.channels);
+        prop_assert!((d.bank as usize) < cfg.dram.banks);
+        prop_assert!(d.col < cfg.dram.cols_per_row);
+    }
+
+    /// Issuing any sequence of commands that `can_issue` admits never
+    /// panics and never leaves a bank in an inconsistent row state.
+    #[test]
+    fn dram_legal_sequences_never_panic(ops in proptest::collection::vec((0u8..6, 0usize..16, 0u32..64), 1..200)) {
+        let cfg = SystemConfig::default();
+        let mut ch = Channel::new(&cfg.dram, &cfg.timing);
+        let mut now = 0u64;
+        for (op, bank, row) in ops {
+            now += 1;
+            let cmd = match op {
+                0 => DramCommand::Act { bank, row },
+                1 => DramCommand::Pre { bank },
+                2 => DramCommand::Read { bank },
+                3 => DramCommand::Write { bank },
+                4 => DramCommand::PimActAll { row },
+                _ => DramCommand::PimOp { writes_row: row % 2 == 0 },
+            };
+            if ch.can_issue(cmd, now) {
+                ch.issue(cmd, now);
+            }
+            // Row state must be a function of Act/Pre only: open_row never
+            // reports a row that was never activated.
+            for b in 0..ch.num_banks() {
+                if let Some(r) = ch.open_row(b) {
+                    prop_assert!(r < cfg.dram.rows_per_bank);
+                }
+            }
+        }
+    }
+
+    /// The crossbar neither loses nor duplicates flits, under either VC
+    /// configuration and with one or two iSlip iterations.
+    #[test]
+    fn crossbar_conserves_flits(
+        routes in proptest::collection::vec((0usize..8, 0usize..4), 1..200),
+        vc2 in any::<bool>(),
+        iterations in 1usize..3,
+    ) {
+        let mode = if vc2 { VcMode::SplitPim } else { VcMode::Shared };
+        let mut x = Crossbar::new(8, 4, 64, mode).with_iterations(iterations);
+        let mut injected = 0u64;
+        let mut delivered = Vec::new();
+        let mut id = 0u64;
+        for (src, dest) in &routes {
+            let req = Request::new(
+                RequestId(id),
+                AppId::GPU,
+                RequestKind::MemRead,
+                PhysAddr(id * 32),
+                *src as u16,
+                0,
+            );
+            id += 1;
+            if x.try_inject(*src, req, *dest).is_ok() {
+                injected += 1;
+            }
+        }
+        for now in 0..10_000 {
+            if x.total_occupancy() == 0 {
+                break;
+            }
+            x.step(now, |_, _, r| {
+                delivered.push(r.id.0);
+                true
+            });
+        }
+        prop_assert_eq!(delivered.len() as u64, injected);
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), delivered.len(), "duplicate delivery");
+    }
+
+    /// Policies always answer `desired_mode` with a servable mode: if the
+    /// chosen mode's queue is empty, the other queue must be too.
+    #[test]
+    fn policies_never_select_an_empty_mode(
+        mem_ages in proptest::collection::vec(0u64..1000, 0..8),
+        pim_ages in proptest::collection::vec(0u64..1000, 0..8),
+        mem_mode in any::<bool>(),
+    ) {
+        let mem: Vec<QueuedRequest> = mem_ages
+            .iter()
+            .enumerate()
+            .map(|(i, &age)| QueuedRequest {
+                req: Request::new(
+                    RequestId(age),
+                    AppId::GPU,
+                    RequestKind::MemRead,
+                    PhysAddr(age * 32),
+                    0,
+                    0,
+                ),
+                decoded: DecodedAddr { channel: 0, bank: (i % 16) as u16, row: age as u32 % 8, col: 0 },
+                age,
+                arrived: 0,
+                opened_row: false,
+            })
+            .collect();
+        let mut sorted_pim = pim_ages.clone();
+        sorted_pim.sort_unstable();
+        let pim: std::collections::VecDeque<QueuedRequest> = sorted_pim
+            .iter()
+            .map(|&age| QueuedRequest {
+                req: Request::new(
+                    RequestId(age),
+                    AppId::PIM,
+                    RequestKind::Pim(PimCommand {
+                        op: PimOpKind::RfLoad,
+                        channel: 0,
+                        row: age as u32 % 8,
+                        col: 0,
+                        rf_entry: 0,
+                        block_start: age % 3 == 0,
+                        block_id: age,
+                    }),
+                    PhysAddr(0),
+                    0,
+                    0,
+                ),
+                decoded: DecodedAddr::default(),
+                age,
+                arrived: 0,
+                opened_row: false,
+            })
+            .collect();
+        let open_rows = vec![None; 16];
+        for kind in PolicyKind::all() {
+            let mut p = kind.build();
+            let view = PolicyView {
+                now: 0,
+                mode: if mem_mode { Mode::Mem } else { Mode::Pim },
+                mem: &mem,
+                pim: &pim,
+                open_rows: &open_rows,
+            };
+            let desired = p.desired_mode(&view);
+            let desired_len = match desired {
+                Mode::Mem => mem.len(),
+                Mode::Pim => pim.len(),
+            };
+            let other_len = match desired {
+                Mode::Mem => pim.len(),
+                Mode::Pim => mem.len(),
+            };
+            prop_assert!(
+                desired_len > 0 || other_len == 0,
+                "{} picked empty {desired} with the other queue nonempty",
+                p.name()
+            );
+        }
+    }
+
+    /// The controller conserves requests for arbitrary small mixes.
+    #[test]
+    fn controller_conserves_arbitrary_mixes(
+        n_mem in 0usize..24,
+        n_pim in 0usize..24,
+        policy_idx in 0usize..9,
+    ) {
+        let cfg = SystemConfig::default();
+        let m = AddressMapper::new(&cfg.addr_map, &cfg.dram, 32);
+        let policy = PolicyKind::all()[policy_idx];
+        let mut mc = MemoryController::new(&cfg, policy.build());
+        let mut expected = 0u64;
+        for i in 0..n_mem.max(n_pim) {
+            if i < n_mem {
+                let addr = PhysAddr((i as u64) * 0x740); // varied banks/rows
+                let req = Request::new(
+                    RequestId(expected),
+                    AppId::GPU,
+                    if i % 3 == 0 { RequestKind::MemWrite } else { RequestKind::MemRead },
+                    addr,
+                    0,
+                    0,
+                );
+                mc.enqueue(req, m.decode(addr), 0);
+                expected += 1;
+            }
+            if i < n_pim {
+                let cmd = PimCommand {
+                    op: PimOpKind::RfLoad,
+                    channel: 0,
+                    row: (i / 4) as u32,
+                    col: (i % 4) as u16,
+                    rf_entry: (i % 8) as u8,
+                    block_start: i % 4 == 0,
+                    block_id: (i / 4) as u64,
+                };
+                let req = Request::new(
+                    RequestId(expected),
+                    AppId::PIM,
+                    RequestKind::Pim(cmd),
+                    PhysAddr(0),
+                    0,
+                    0,
+                );
+                mc.enqueue(req, DecodedAddr { channel: 0, bank: 0, row: cmd.row, col: 0 }, 0);
+                expected += 1;
+            }
+        }
+        let mut done = 0u64;
+        for now in 0..200_000u64 {
+            mc.step(now);
+            done += mc.pop_completions(now).len() as u64;
+            if done == expected && mc.is_idle(now) {
+                break;
+            }
+        }
+        prop_assert_eq!(done, expected, "{} lost requests", policy.label());
+    }
+}

@@ -1,0 +1,113 @@
+//! Statistics-path integration tests: latency histograms, mode-residency
+//! accounting, and L2 behavior observed through full-system runs.
+
+use pim_coscheduling::prelude::*;
+use pim_coscheduling::workloads::{gpu_kernel, pim_kernel};
+
+const SCALE: f64 = 0.02;
+
+fn runner(policy: PolicyKind) -> pim_coscheduling::sim::Runner {
+    let mut r = pim_coscheduling::sim::Runner::new(SystemConfig::default(), policy);
+    r.max_gpu_cycles = 4_000_000;
+    r
+}
+
+#[test]
+fn latency_histograms_populate_and_order_sanely() {
+    let r = runner(PolicyKind::FrFcfs);
+    let out = r.coexec(
+        Box::new(gpu_kernel(GpuBenchmark(8), 72, SCALE)),
+        Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+        true,
+    );
+    let mem = &out.mc.mem_latency;
+    let pim = &out.mc.pim_latency;
+    assert_eq!(mem.count(), out.mc.mem_served);
+    assert_eq!(pim.count(), out.mc.pim_served);
+    for h in [mem, pim] {
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert!(p99 <= h.max());
+        // Every serviced request spends at least the column latency.
+        assert!(h.mean().unwrap() >= 1.0);
+    }
+}
+
+#[test]
+fn mode_residency_accounts_for_all_active_cycles() {
+    let r = runner(PolicyKind::FrRrFcfs);
+    let out = r.coexec(
+        Box::new(gpu_kernel(GpuBenchmark(5), 72, SCALE)),
+        Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, SCALE)),
+        true,
+    );
+    let s = &out.mc;
+    // Stepped cycles split exactly into MEM-mode, PIM-mode, and draining.
+    assert_eq!(
+        s.cycles,
+        s.cycles_mem_mode + s.cycles_pim_mode + s.cycles_draining,
+        "mode residency must partition stepped cycles"
+    );
+    assert!(s.cycles_draining > 0, "FR-RR switches must drain");
+}
+
+#[test]
+fn standalone_pim_spends_almost_all_time_in_pim_mode() {
+    let r = runner(PolicyKind::FrFcfs);
+    let out = r
+        .standalone(Box::new(pim_kernel(PimBenchmark(4), 32, 4, 256, SCALE)), 0, true)
+        .expect("finishes");
+    let s = &out.mc;
+    assert!(
+        s.cycles_pim_mode > s.cycles_mem_mode * 5,
+        "PIM standalone: pim {} vs mem {} mode cycles",
+        s.cycles_pim_mode,
+        s.cycles_mem_mode
+    );
+}
+
+#[test]
+fn l2_filters_the_reusing_kernel() {
+    // G19 (srad_v2, l2_reuse 0.75) must reach DRAM with far fewer
+    // requests than it injects; G15 (nn, l2_reuse 0.02) must not.
+    let r = runner(PolicyKind::FrFcfs);
+    let filtered = r
+        .standalone(Box::new(gpu_kernel(GpuBenchmark(19), 40, SCALE)), 0, false)
+        .expect("finishes");
+    let streaming = r
+        .standalone(Box::new(gpu_kernel(GpuBenchmark(15), 40, SCALE)), 0, false)
+        .expect("finishes");
+    let filter_ratio = filtered.mc.mem_arrivals as f64 / filtered.icnt_injections as f64;
+    let stream_ratio = streaming.mc.mem_arrivals as f64 / streaming.icnt_injections as f64;
+    assert!(
+        filter_ratio < 0.6,
+        "srad_v2 should be L2-filtered (ratio {filter_ratio:.2})"
+    );
+    assert!(
+        stream_ratio > 0.8,
+        "nn should stream through the L2 (ratio {stream_ratio:.2})"
+    );
+    assert!(filter_ratio < stream_ratio);
+}
+
+#[test]
+fn queue_occupancy_integrals_track_pressure() {
+    // Under PIM-First the PIM queue drains promptly; under MEM-First it
+    // sits full. Compare average PIM-queue occupancy per stepped cycle.
+    let occupancy = |policy: PolicyKind| {
+        let r = runner(policy);
+        let out = r.coexec(
+            Box::new(gpu_kernel(GpuBenchmark(8), 72, SCALE)),
+            Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+            true,
+        );
+        out.mc.pim_q_occupancy_sum as f64 / out.mc.cycles.max(1) as f64
+    };
+    let pim_first = occupancy(PolicyKind::PimFirst);
+    let mem_first = occupancy(PolicyKind::MemFirst);
+    assert!(
+        mem_first > pim_first,
+        "MEM-First must back the PIM queue up (MEM-First {mem_first:.2} vs PIM-First {pim_first:.2})"
+    );
+}
