@@ -1,0 +1,71 @@
+//! Hot-loop throughput benchmark: simulated GPU cycles per wall-clock
+//! second with fast-forward on vs off, for the three workload shapes the
+//! event-driven main loop targets — standalone MEM (bursty, long idle
+//! tails between SM issue windows), standalone PIM (credit-throttled,
+//! mostly busy), and F3FS competitive co-execution (both domains active).
+//!
+//! The `hotloop` bin (`cargo run --release --bin hotloop`) runs the same
+//! scenarios and writes `BENCH_hotloop.json` with cycles/sec and speedup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimsim_core::policy::PolicyKind;
+use pimsim_sim::Runner;
+use pimsim_types::SystemConfig;
+use pimsim_workloads::{gpu_kernel, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark};
+
+const SCALE: f64 = 1.0;
+/// Co-execution is slower per simulated cycle; a smaller size keeps the
+/// measurement wall-time reasonable.
+const COEXEC_SCALE: f64 = 0.2;
+
+fn runner(policy: PolicyKind, fast_forward: bool) -> Runner {
+    let mut r = Runner::new(SystemConfig::default(), policy);
+    r.max_gpu_cycles = 60_000_000;
+    r.fast_forward = fast_forward;
+    r
+}
+
+fn standalone_mem(ff: bool) -> u64 {
+    runner(PolicyKind::FrFcfs, ff)
+        .standalone(Box::new(gpu_kernel(GpuBenchmark(10), 8, SCALE)), 0, false)
+        .expect("finishes")
+        .cycles
+}
+
+fn standalone_pim(ff: bool) -> u64 {
+    runner(PolicyKind::FrFcfs, ff)
+        .standalone(
+            Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+            0,
+            true,
+        )
+        .expect("finishes")
+        .cycles
+}
+
+fn coexec_f3fs(ff: bool) -> u64 {
+    runner(PolicyKind::f3fs_competitive(), ff)
+        .coexec(
+            Box::new(gpu_kernel(GpuBenchmark(8), 72, COEXEC_SCALE)),
+            Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, COEXEC_SCALE)),
+            true,
+        )
+        .total_cycles
+}
+
+fn bench_hotloop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotloop");
+    g.sample_size(10);
+    for (name, f) in [
+        ("standalone_mem", standalone_mem as fn(bool) -> u64),
+        ("standalone_pim", standalone_pim),
+        ("coexec_f3fs", coexec_f3fs),
+    ] {
+        g.bench_function(&format!("{name}/ff_on"), |b| b.iter(|| black_box(f(true))));
+        g.bench_function(&format!("{name}/ff_off"), |b| b.iter(|| black_box(f(false))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hotloop);
+criterion_main!(benches);

@@ -26,7 +26,8 @@ fn main() {
     let report = run_competitive(&cfg);
 
     use pimsim_sim::experiments::competitive::CompetitivePoint;
-    let figures: [(&str, fn(&CompetitivePoint) -> f64); 2] = [
+    type Metric = fn(&CompetitivePoint) -> f64;
+    let figures: [(&str, Metric); 2] = [
         ("Figure 13a: fairness index", |p| p.fairness),
         ("Figure 13b: system throughput", |p| p.throughput),
     ];

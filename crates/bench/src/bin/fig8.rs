@@ -30,7 +30,8 @@ fn main() {
     }
 
     use pimsim_sim::experiments::competitive::CompetitivePoint;
-    let figures: [(&str, &str, fn(&CompetitivePoint) -> f64); 2] = [
+    type Metric = fn(&CompetitivePoint) -> f64;
+    let figures: [(&str, &str, Metric); 2] = [
         ("Figure 8a", "fairness index", |p| p.fairness),
         ("Figure 8b", "system throughput", |p| p.throughput),
     ];

@@ -1,0 +1,115 @@
+//! Hot-loop speedup measurement: simulated GPU cycles per wall-clock
+//! second with the event-driven fast-forward on vs off, written to
+//! `BENCH_hotloop.json`. Scenarios mirror the `hotloop` criterion bench:
+//! standalone MEM, standalone PIM, and F3FS competitive co-execution.
+//!
+//! Run with `cargo run --release --bin hotloop`. Every pair first asserts
+//! the two modes simulated the same number of cycles — throughput is only
+//! comparable because the runs are bit-identical.
+
+use std::time::Instant;
+
+use pimsim_bench::header;
+use pimsim_core::policy::PolicyKind;
+use pimsim_sim::Runner;
+use pimsim_types::SystemConfig;
+use pimsim_workloads::{gpu_kernel, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark};
+
+const SCALE: f64 = 1.0;
+/// Co-execution is slower per simulated cycle; a smaller size keeps the
+/// measurement wall-time reasonable.
+const COEXEC_SCALE: f64 = 0.2;
+/// Criterion-style minimum: repeat each measurement and keep the best, so
+/// one scheduler hiccup does not masquerade as a regression.
+const REPS: usize = 3;
+
+fn runner(policy: PolicyKind, fast_forward: bool) -> Runner {
+    let mut r = Runner::new(SystemConfig::default(), policy);
+    r.max_gpu_cycles = 60_000_000;
+    r.fast_forward = fast_forward;
+    r
+}
+
+fn standalone_mem(ff: bool) -> u64 {
+    runner(PolicyKind::FrFcfs, ff)
+        .standalone(Box::new(gpu_kernel(GpuBenchmark(10), 8, SCALE)), 0, false)
+        .expect("finishes")
+        .cycles
+}
+
+fn standalone_pim(ff: bool) -> u64 {
+    runner(PolicyKind::FrFcfs, ff)
+        .standalone(
+            Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+            0,
+            true,
+        )
+        .expect("finishes")
+        .cycles
+}
+
+fn coexec_f3fs(ff: bool) -> u64 {
+    runner(PolicyKind::f3fs_competitive(), ff)
+        .coexec(
+            Box::new(gpu_kernel(GpuBenchmark(8), 72, COEXEC_SCALE)),
+            Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, COEXEC_SCALE)),
+            true,
+        )
+        .total_cycles
+}
+
+/// Best-of-`REPS` throughput in simulated cycles per wall second.
+fn measure(f: fn(bool) -> u64, ff: bool) -> (u64, f64) {
+    let mut best = 0.0_f64;
+    let mut cycles = 0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        cycles = f(ff);
+        let rate = cycles as f64 / t.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    (cycles, best)
+}
+
+fn main() {
+    header("Hot-loop throughput: fast-forward on vs off (simulated cycles/sec)");
+    type Scenario = fn(bool) -> u64;
+    let scenarios: [(&str, Scenario); 3] = [
+        ("standalone_mem", standalone_mem),
+        ("standalone_pim", standalone_pim),
+        ("coexec_f3fs", coexec_f3fs),
+    ];
+    let mut entries = Vec::new();
+    for (name, f) in scenarios {
+        let (cycles_on, rate_on) = measure(f, true);
+        let (cycles_off, rate_off) = measure(f, false);
+        assert_eq!(
+            cycles_on, cycles_off,
+            "{name}: fast-forward changed the simulated cycle count"
+        );
+        let speedup = rate_on / rate_off;
+        println!(
+            "  {name:16} {cycles_on:>10} cycles   ff_on {rate_on:>12.0}/s   ff_off {rate_off:>12.0}/s   speedup {speedup:.2}x"
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"simulated_cycles\": {},\n",
+                "      \"cycles_per_sec_ff_on\": {:.1},\n",
+                "      \"cycles_per_sec_ff_off\": {:.1},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}"
+            ),
+            name, cycles_on, rate_on, rate_off, speedup
+        ));
+    }
+    // serde is vendored as a no-op shim in this workspace, so the JSON is
+    // formatted by hand.
+    let json = format!(
+        "{{\n  \"benchmark\": \"hotloop\",\n  \"unit\": \"simulated_gpu_cycles_per_wall_second\",\n  \"reps\": {REPS},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_hotloop.json", &json).expect("write BENCH_hotloop.json");
+    println!("\nwrote BENCH_hotloop.json");
+}

@@ -186,6 +186,11 @@ pub struct MemoryController {
     rows_at_switch: Vec<Option<u32>>,
     /// Scratch: open row per bank, rebuilt each cycle for the policy view.
     open_rows: Vec<Option<u32>>,
+    /// Scratch for [`MemoryController::issue_mem`]: best candidate per
+    /// bank, reused across cycles so the hot loop allocates nothing.
+    scratch_best: Vec<Option<(u32, u64, usize, bool)>>,
+    /// Scratch for [`MemoryController::issue_mem`]: bank issue order.
+    scratch_order: Vec<(u32, u64, usize)>,
     page_policy: PagePolicy,
     stats: McStats,
 }
@@ -206,6 +211,8 @@ impl MemoryController {
             completions: BinaryHeap::new(),
             rows_at_switch: vec![None; banks],
             open_rows: vec![None; banks],
+            scratch_best: vec![None; banks],
+            scratch_order: Vec::with_capacity(banks),
             page_policy: cfg.mc.page_policy,
             stats: McStats::default(),
         }
@@ -261,14 +268,30 @@ impl MemoryController {
     /// Pops all completions with `at <= now`.
     pub fn pop_completions(&mut self, now: Cycle) -> Vec<Completion> {
         let mut out = Vec::new();
-        while let Some(c) = self.completions.peek() {
-            if c.at <= now {
-                out.push(self.completions.pop().expect("peeked"));
-            } else {
-                break;
-            }
+        while let Some(c) = self.pop_completion_before(now) {
+            out.push(c);
         }
         out
+    }
+
+    /// Pops the earliest completion with `at <= now`, if any — the
+    /// allocation-free form of [`MemoryController::pop_completions`] for
+    /// per-cycle consumers that process completions one at a time.
+    pub fn pop_completion_before(&mut self, now: Cycle) -> Option<Completion> {
+        if self.completions.peek().is_some_and(|c| c.at <= now) {
+            return self.completions.pop();
+        }
+        None
+    }
+
+    /// The earliest cycle at or after `now` at which this controller has
+    /// work, or `None` while it is completely idle (no queued requests, no
+    /// in-flight data, no pending switch, no undelivered completions).
+    /// Conservative: an active controller always answers `now` — its
+    /// internal timing (bank busy windows, drains) is too entangled with
+    /// the stats integrals to skip over soundly.
+    pub fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        (!self.is_idle(now)).then_some(now)
     }
 
     /// Statistics snapshot.
@@ -402,7 +425,11 @@ impl MemoryController {
         self.refresh_open_rows();
         let n_banks = self.channel.num_banks();
         // Best candidate per bank: (class, age, queue index, is_hit).
-        let mut best: Vec<Option<(u32, u64, usize, bool)>> = vec![None; n_banks];
+        // Borrowed out of self so the issue loop below can mutate the
+        // channel and queues; restored at the end (no per-cycle allocation).
+        let mut best = std::mem::take(&mut self.scratch_best);
+        best.clear();
+        best.resize(n_banks, None);
         {
             let view = PolicyView {
                 now,
@@ -428,13 +455,15 @@ impl MemoryController {
         }
         // Rank banks by their best candidate and issue the first legal
         // command for the best-ranked serviceable one.
-        let mut order: Vec<(u32, u64, usize)> = best
-            .iter()
-            .enumerate()
-            .filter_map(|(bank, c)| c.map(|(class, age, _, _)| (class, age, bank)))
-            .collect();
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
+        order.extend(
+            best.iter()
+                .enumerate()
+                .filter_map(|(bank, c)| c.map(|(class, age, _, _)| (class, age, bank))),
+        );
         order.sort_unstable();
-        for (_, _, bank) in order {
+        'banks: for &(_, _, bank) in &order {
             let (_, _, idx, hit) = best[bank].expect("ranked banks have candidates");
             let q = self.queues.mem()[idx];
             if hit {
@@ -452,13 +481,13 @@ impl MemoryController {
                     self.note_mem_issued(&q, now);
                     self.stats.mem_latency.record(done.saturating_sub(q.arrived));
                     self.completions.push(Completion { req: q.req, at: done });
-                    return;
+                    break 'banks;
                 }
             } else if self.open_rows[bank].is_some() {
                 let cmd = DramCommand::Pre { bank };
                 if self.channel.can_issue(cmd, now) {
                     self.channel.issue(cmd, now);
-                    return;
+                    break 'banks;
                 }
             } else {
                 let cmd = DramCommand::Act {
@@ -468,10 +497,12 @@ impl MemoryController {
                 if self.channel.can_issue(cmd, now) {
                     self.channel.issue(cmd, now);
                     self.note_mem_act(idx, bank, q.decoded.row);
-                    return;
+                    break 'banks;
                 }
             }
         }
+        self.scratch_best = best;
+        self.scratch_order = order;
     }
 
     fn note_mem_act(&mut self, idx: usize, bank: usize, row: u32) {

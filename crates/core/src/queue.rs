@@ -155,6 +155,13 @@ impl McQueues {
     pub fn is_empty(&self) -> bool {
         self.mem.is_empty() && self.pim.is_empty()
     }
+
+    /// The earliest cycle at or after `now` at which these queues hold
+    /// work for the controller, or `None` while both are empty. Queues
+    /// have no timers, so the answer is always `now` or never.
+    pub fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        (!self.is_empty()).then_some(now)
+    }
 }
 
 #[cfg(test)]

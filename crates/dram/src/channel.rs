@@ -127,6 +127,11 @@ pub struct Channel {
     act_ptr: usize,
     /// End of the most recent write burst (tWTR).
     last_write_end: Cycle,
+    /// Cached `max(bank.busy_until)` over all banks. Per-bank `busy_until`
+    /// is only ever raised, so maintaining the running max on the three
+    /// raising command paths keeps this exact — and the quiescence check
+    /// O(1) instead of a bank scan.
+    max_busy_until: Cycle,
     /// When the next refresh becomes due (`u64::MAX` when disabled).
     next_refresh: Cycle,
     /// A due refresh blocks new activates until it executes.
@@ -148,6 +153,7 @@ impl Channel {
             act_times: [0; 4],
             act_ptr: 0,
             last_write_end: 0,
+            max_busy_until: 0,
             next_refresh: if timing.t_refi > 0 {
                 timing.t_refi
             } else {
@@ -218,12 +224,26 @@ impl Channel {
     /// `true` once all column data movement has completed (used by the
     /// memory controller to detect the end of a mode-switch drain).
     pub fn quiescent(&self, now: Cycle) -> bool {
-        self.banks.iter().all(|b| b.busy_until <= now)
+        debug_assert_eq!(
+            self.max_busy_until,
+            self.banks.iter().map(|b| b.busy_until).max().unwrap_or(0)
+        );
+        self.max_busy_until <= now
     }
 
     /// Completion time of the latest in-flight column access across banks.
     pub fn busy_until(&self) -> Cycle {
-        self.banks.iter().map(|b| b.busy_until).max().unwrap_or(0)
+        self.max_busy_until
+    }
+
+    /// The earliest cycle at or after `now` at which this channel has data
+    /// movement in flight, or `None` once it is quiescent. Refresh is
+    /// deliberately excluded: the refresh clock only advances while the
+    /// channel is being ticked, and the owning controller stops ticking a
+    /// quiescent channel with empty queues, so a quiescent channel
+    /// generates no activity on its own.
+    pub fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        (!self.quiescent(now)).then_some(now)
     }
 
     /// Whether `bank` has column data in flight at `now` (used for
@@ -365,6 +385,7 @@ impl Channel {
                 let b = &mut self.banks[bank];
                 b.busy_until = completion;
                 b.next_pre = b.next_pre.max(now + t.t_rtpl);
+                self.max_busy_until = self.max_busy_until.max(completion);
                 b.next_col = b.next_col.max(now + t.t_ccdl);
                 self.data_bus_free = completion;
                 self.last_col = Some((now, group));
@@ -377,6 +398,7 @@ impl Channel {
                 let b = &mut self.banks[bank];
                 b.busy_until = completion;
                 b.next_pre = b.next_pre.max(completion + t.t_wr);
+                self.max_busy_until = self.max_busy_until.max(completion);
                 b.next_col = b.next_col.max(now + t.t_ccdl);
                 self.data_bus_free = completion;
                 self.last_write_end = self.last_write_end.max(completion);
@@ -423,6 +445,7 @@ impl Channel {
                         b.next_pre = b.next_pre.max(now + t.t_rtpl);
                     }
                 }
+                self.max_busy_until = self.max_busy_until.max(completion);
                 self.last_col = Some((now, usize::MAX));
                 self.stats.pim_ops += 1;
                 Some(completion)
@@ -470,12 +493,10 @@ mod tests {
 
     /// Issues `cmd` at the first legal cycle at or after `from`.
     fn issue_when_ready(ch: &mut Channel, cmd: DramCommand, from: Cycle) -> (Cycle, Option<Cycle>) {
-        let mut now = from;
-        for _ in 0..10_000 {
+        for now in from..from + 10_000 {
             if ch.can_issue(cmd, now) {
                 return (now, ch.issue(cmd, now));
             }
-            now += 1;
         }
         panic!("command {cmd:?} never became legal");
     }

@@ -145,10 +145,14 @@ mod tests {
     #[test]
     fn pim_ops_skip_io_energy() {
         let cfg = EnergyConfig::default();
-        let mut mem_only = ChannelStats::default();
-        mem_only.reads = 100;
-        let mut pim_only = ChannelStats::default();
-        pim_only.pim_ops = 100;
+        let mem_only = ChannelStats {
+            reads: 100,
+            ..Default::default()
+        };
+        let pim_only = ChannelStats {
+            pim_ops: 100,
+            ..Default::default()
+        };
         let em = channel_energy(&cfg, &mem_only, 0, 16);
         let ep = channel_energy(&cfg, &pim_only, 0, 16);
         assert_eq!(ep.io, 0.0);

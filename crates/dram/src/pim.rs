@@ -8,7 +8,7 @@
 //! Figure 3: computes and stores may only read entries that a load or
 //! compute previously wrote.
 
-use pimsim_types::{PimCommand, PimOpKind};
+use pimsim_types::{Cycle, PimCommand, PimOpKind};
 
 /// Error returned when a PIM op violates the register-file discipline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +68,14 @@ impl PimEngine {
     /// Total blocks started.
     pub fn blocks_started(&self) -> u64 {
         self.blocks_started
+    }
+
+    /// The earliest cycle at or after `now` at which the engine will act
+    /// on its own: always `None`. The PIM datapath is purely reactive — it
+    /// executes only when the controller feeds it a command — so it never
+    /// constrains the simulator's idle-span skipping.
+    pub fn next_activity_cycle(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 
     /// Records execution of `cmd`, validating RF discipline and block

@@ -51,4 +51,24 @@ pub trait KernelModel: Send {
     /// Restart the kernel for a fresh run (kernels run in a loop in the
     /// paper's methodology; the re-run re-seeds deterministically).
     fn reset(&mut self);
+
+    /// The earliest GPU cycle at or after `now` at which any slot of this
+    /// kernel *could* produce a request, or `None` if the kernel will
+    /// never issue again this run (all work already issued).
+    ///
+    /// This is the activity hook the event-driven simulator uses to jump
+    /// over provably idle spans: when every network queue and every
+    /// partition is empty, the only possible source of future work is
+    /// kernel issue pacing, so the simulator may advance its clocks
+    /// directly to the minimum of these hooks across kernels.
+    ///
+    /// Contract: the returned cycle must be a *lower bound* — `try_issue`
+    /// must return `None` for every slot at every cycle in
+    /// `now..returned`. Returning `Some(now)` is always sound (it simply
+    /// disables skipping); returning a cycle later than the true next
+    /// issue is **unsound** and will desynchronize the fast-forward and
+    /// lock-step schedules. The default is the conservative `Some(now)`.
+    fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
 }

@@ -281,6 +281,16 @@ impl KernelModel for PimKernelModel {
         self.issued = 0;
         self.completed = 0;
     }
+
+    fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        // PIM warps are throttled by store-buffer credits, not by time: a
+        // warp with work left may become issuable the moment an ack
+        // arrives, so the only safe answers are "now" and "never".
+        self.warps
+            .iter()
+            .any(|w| !w.done_issuing)
+            .then_some(now)
+    }
 }
 
 #[cfg(test)]

@@ -8,9 +8,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use pimsim_types::rng::SplitMix64;
 use pimsim_types::{Cycle, PhysAddr, RequestId, RequestKind};
 
 use crate::kernel::{IssuedRequest, KernelModel};
@@ -71,7 +69,7 @@ impl GpuKernelParams {
 /// Per-SM generator state.
 #[derive(Debug, Clone)]
 struct Slot {
-    rng: StdRng,
+    rng: SplitMix64,
     streams: Vec<u64>,
     next_stream: usize,
     history: VecDeque<u64>,
@@ -146,18 +144,18 @@ impl SyntheticGpuKernel {
         let extra = p.total_requests % num_slots as u64;
         self.slots = (0..num_slots)
             .map(|s| {
-                let mut rng = StdRng::seed_from_u64(
+                let mut rng = SplitMix64::new(
                     p.seed
                         .wrapping_add(s as u64 * 0x9e37_79b9)
                         .wrapping_add(epoch.wrapping_mul(0x517c_c1b7_2722_0a95)),
                 );
                 let base = s as u64 * span;
                 let streams = (0..p.streams_per_slot)
-                    .map(|_| base + rng.gen_range(0..span / WORD) * WORD)
+                    .map(|_| base + rng.next_range(span / WORD) * WORD)
                     .collect();
                 // Stagger the slots' first issues so the SMs do not inject
                 // in lock-step bursts (real warps desynchronize quickly).
-                let first_ready = rng.gen_range(0..p.issue_interval.max(1));
+                let first_ready = rng.next_range(p.issue_interval.max(1));
                 Slot {
                     rng,
                     streams,
@@ -201,14 +199,14 @@ impl KernelModel for SyntheticGpuKernel {
         if s.remaining == 0 || now < s.next_ready {
             return None;
         }
-        let addr = if p_l2 > 0.0 && !s.history.is_empty() && s.rng.gen_bool(p_l2) {
-            let i = s.rng.gen_range(0..s.history.len());
+        let addr = if p_l2 > 0.0 && !s.history.is_empty() && s.rng.chance(p_l2) {
+            let i = s.rng.next_range(s.history.len() as u64) as usize;
             s.history[i]
         } else {
             let idx = s.next_stream;
             s.next_stream = (s.next_stream + 1) % s.streams.len();
             let cur = s.streams[idx];
-            let next = if s.rng.gen_bool(p_row) {
+            let next = if s.rng.chance(p_row) {
                 let stepped = cur + WORD;
                 if stepped >= s.base + s.span {
                     s.base
@@ -216,7 +214,7 @@ impl KernelModel for SyntheticGpuKernel {
                     stepped
                 }
             } else {
-                s.base + s.rng.gen_range(0..s.span / WORD) * WORD
+                s.base + s.rng.next_range(s.span / WORD) * WORD
             };
             s.streams[idx] = next;
             next
@@ -225,7 +223,7 @@ impl KernelModel for SyntheticGpuKernel {
             s.history.pop_front();
         }
         s.history.push_back(addr);
-        let kind = if s.rng.gen_bool(p_read) {
+        let kind = if s.rng.chance(p_read) {
             RequestKind::MemRead
         } else {
             RequestKind::MemWrite
@@ -234,7 +232,7 @@ impl KernelModel for SyntheticGpuKernel {
         // Small deterministic jitter keeps the request stream from
         // re-synchronizing across SMs.
         let jitter = if interval >= 4 {
-            s.rng.gen_range(0..interval / 4)
+            s.rng.next_range(interval / 4)
         } else {
             0
         };
@@ -265,6 +263,16 @@ impl KernelModel for SyntheticGpuKernel {
         self.completed = 0;
         self.epoch += 1;
         self.init_slots(n);
+    }
+
+    fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        // A slot with work left issues no earlier than its pacing stamp;
+        // slots that issued everything are silent until reset.
+        self.slots
+            .iter()
+            .filter(|s| s.remaining > 0)
+            .map(|s| s.next_ready.max(now))
+            .min()
     }
 }
 

@@ -200,6 +200,10 @@ impl KernelModel for TraceRecorder {
         // Recording continues across runs; records from later runs append.
         self.inner.reset();
     }
+
+    fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        self.inner.next_activity_cycle(now)
+    }
 }
 
 /// Replays a recorded MEM trace as a kernel model.
@@ -291,6 +295,16 @@ impl KernelModel for TraceKernel {
         let records = self.original.clone();
         let n = self.slots.len();
         *self = TraceKernel::new(std::mem::take(&mut self.name), n, records);
+    }
+
+    fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        // Each slot's next record fires at its recorded cycle, or
+        // immediately if the replay is already running behind.
+        self.slots
+            .iter()
+            .filter_map(|q| q.front())
+            .map(|r| r.cycle.max(now))
+            .min()
     }
 }
 

@@ -93,6 +93,21 @@ pub struct Crossbar {
     /// let it propose its other VC's head toward a still-free output.
     iterations: usize,
     stats: CrossbarStats,
+    /// Running count of buffered flits across all inputs, maintained on
+    /// inject/eject so the per-cycle empty check is O(1).
+    occupancy: usize,
+    /// Arbitration scratch, reused across [`Crossbar::step`] calls so the
+    /// per-cycle hot path allocates nothing.
+    scratch: StepScratch,
+}
+
+/// Reusable per-step arbitration state (see [`Crossbar::step`]).
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    input_done: Vec<bool>,
+    output_done: Vec<bool>,
+    proposal: Vec<Option<VcIndex>>,
+    requests_per_output: Vec<Vec<usize>>,
 }
 
 impl Crossbar {
@@ -122,6 +137,13 @@ impl Crossbar {
             vc_mode,
             iterations: 1,
             stats: CrossbarStats::default(),
+            occupancy: 0,
+            scratch: StepScratch {
+                input_done: vec![false; n_in],
+                output_done: vec![false; n_out],
+                proposal: vec![None; n_in],
+                requests_per_output: vec![Vec::new(); n_out],
+            },
         }
     }
 
@@ -182,6 +204,7 @@ impl Crossbar {
             return Err(req);
         }
         p.vcs[vc].push_back(Flit { req, dest });
+        self.occupancy += 1;
         self.stats.injected += 1;
         Ok(())
     }
@@ -191,14 +214,29 @@ impl Crossbar {
         self.inputs[input].occupancy()
     }
 
-    /// Total flits buffered in the crossbar.
+    /// Total flits buffered in the crossbar. O(1): maintained on
+    /// inject/eject.
     pub fn total_occupancy(&self) -> usize {
-        self.inputs.iter().map(InputPort::occupancy).sum()
+        debug_assert_eq!(
+            self.occupancy,
+            self.inputs.iter().map(InputPort::occupancy).sum::<usize>()
+        );
+        self.occupancy
     }
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> CrossbarStats {
         self.stats
+    }
+
+    /// The earliest cycle at or after `now` at which this crossbar can do
+    /// work, or `None` while it is empty. An input-queued crossbar has no
+    /// internal timers: it is active exactly when it buffers flits, so the
+    /// answer is always `now` or never. (The grant pointers and VC
+    /// round-robin state only advance on successful grants, so idle cycles
+    /// leave the arbiter state untouched — skipping them is exact.)
+    pub fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        (self.total_occupancy() > 0).then_some(now)
     }
 
     /// Head-flit VC an input proposes this cycle: the modified iSlip VC
@@ -231,31 +269,56 @@ impl Crossbar {
     where
         F: FnMut(usize, VcIndex, &Request) -> bool,
     {
-        self.stats.occupancy_integral += self.total_occupancy() as u64;
+        if self.occupancy == 0 {
+            // Nothing buffered: arbitration would grant nothing and leave
+            // every grant pointer and VC round-robin untouched, so the
+            // whole step reduces to the (zero) occupancy-integral update.
+            return;
+        }
+        self.stats.occupancy_integral += self.occupancy as u64;
         let n_in = self.inputs.len();
-        let mut input_done = vec![false; n_in];
-        let mut output_done = vec![false; self.n_out];
+        // Borrow the scratch out of self for the duration of the step so
+        // the arbitration loops can mutate `self.inputs` freely; the
+        // buffers go back at the end, so steady-state steps never allocate.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let input_done = &mut scratch.input_done;
+        let output_done = &mut scratch.output_done;
+        input_done.clear();
+        input_done.resize(n_in, false);
+        output_done.clear();
+        output_done.resize(self.n_out, false);
+        scratch.proposal.resize(n_in, None);
+        scratch.requests_per_output.resize_with(self.n_out, Vec::new);
         for _iter in 0..self.iterations {
             // Gather one proposal per ungranted input toward an
             // ungranted output: the VC round-robin choice first, falling
             // back to the other VC if its head targets a free output.
-            let mut proposal: Vec<Option<VcIndex>> = vec![None; n_in];
-            let mut requests_per_output: Vec<Vec<usize>> = vec![Vec::new(); self.n_out];
+            let proposal = &mut scratch.proposal;
+            let requests_per_output = &mut scratch.requests_per_output;
+            proposal.fill(None);
+            for r in requests_per_output.iter_mut() {
+                r.clear();
+            }
             for i in 0..n_in {
                 if input_done[i] {
                     continue;
                 }
                 let preferred = self.propose_vc(i);
-                let mut candidates: Vec<VcIndex> = Vec::new();
-                if let Some(vc) = preferred {
-                    candidates.push(vc);
-                    for other in 0..self.inputs[i].vcs.len() {
-                        if other != vc && !self.inputs[i].vcs[other].is_empty() {
-                            candidates.push(other);
+                let Some(first) = preferred else {
+                    continue;
+                };
+                let n_vcs = self.inputs[i].vcs.len();
+                // The preferred VC, then any other nonempty VC.
+                for off in 0..n_vcs {
+                    let vc = if off == 0 {
+                        first
+                    } else {
+                        let other = (first + off) % n_vcs;
+                        if self.inputs[i].vcs[other].is_empty() {
+                            continue;
                         }
-                    }
-                }
-                for vc in candidates {
+                        other
+                    };
                     let dest = self.inputs[i].vcs[vc]
                         .front()
                         .expect("candidate VC must be nonempty")
@@ -293,6 +356,7 @@ impl Crossbar {
                     debug_assert_eq!(flit.dest, out);
                     if eject(out, vc, &flit.req) {
                         self.inputs[cand].vcs[vc].pop_front();
+                        self.occupancy -= 1;
                         self.inputs[cand].last_vc = vc;
                         self.grant_ptr[out] = (cand + 1) % n_in;
                         self.stats.ejected += 1;
@@ -309,6 +373,7 @@ impl Crossbar {
                 }
             }
         }
+        self.scratch = scratch;
     }
 }
 

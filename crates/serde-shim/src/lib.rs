@@ -1,0 +1,21 @@
+//! No-op stand-in for `serde`'s derive surface.
+//!
+//! The workspace only uses serde through `#[derive(Serialize, Deserialize)]`
+//! annotations — nothing serializes at runtime yet. This vendored shim lets
+//! those derives compile in offline environments by expanding to nothing.
+//! Swapping the workspace dependency back to the real `serde` is a one-line
+//! change in the root `Cargo.toml` and requires no source edits.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the workspace never calls `serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the workspace never calls `deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,14 +1,18 @@
 //! Parallel sweep helper: runs independent simulations across CPU cores.
 
-use std::collections::VecDeque;
-
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Applies `f` to every item, fanning out across available cores, and
 /// returns results in input order.
 ///
-/// The work queue is dynamic (work stealing by index), so heterogeneous
-/// simulation lengths balance well.
+/// Dispatch is a single atomic index over the item slice — workers claim
+/// the next unclaimed index with one `fetch_add`, so heterogeneous
+/// simulation lengths balance well and there is no shared dispatch lock to
+/// serialize on. Results land in pre-sized per-slot cells; each cell is
+/// touched by exactly one worker, so the per-slot locks below are never
+/// contended. A panic in any worker propagates to the caller when the
+/// thread scope joins.
 ///
 /// # Example
 ///
@@ -24,33 +28,44 @@ where
     T: Send,
     F: Fn(I) -> T + Sync,
 {
+    let n = items.len();
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
-        .min(items.len().max(1));
+        .min(n.max(1));
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let n = queue.lock().len();
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new(std::iter::repeat_with(|| None).take(n).collect());
-    crossbeam::scope(|scope| {
+    // Per-slot cells instead of one big lock: the atomic index hands each
+    // slot to exactly one worker, so these mutexes exist only to satisfy
+    // the no-unsafe shared-mutation rules and are always uncontended.
+    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let Some((idx, item)) = queue.lock().pop_front() else {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
                     break;
-                };
+                }
+                let item = work[idx]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each index dispatched exactly once");
                 let out = f(item);
-                results.lock()[idx] = Some(out);
+                *results[idx].lock().expect("result slot poisoned") = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
-        .into_inner()
         .into_iter()
-        .map(|r| r.expect("every index filled"))
+        .map(|cell| {
+            cell.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index filled")
+        })
         .collect()
 }
 
@@ -86,5 +101,22 @@ mod tests {
             assert!(x != 2, "boom");
             x
         });
+    }
+
+    #[test]
+    fn balances_heterogeneous_work() {
+        // Items with wildly different costs still come back in order.
+        let out = parallel_map((0..64u64).collect(), |x| {
+            let spin = if x % 8 == 0 { 200_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x * 2
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
     }
 }

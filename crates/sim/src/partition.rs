@@ -326,7 +326,7 @@ impl Partition {
             }
         }
         self.mc.step(dram_now);
-        for Completion { req, .. } in self.mc.pop_completions(dram_now) {
+        while let Some(Completion { req, .. }) = self.mc.pop_completion_before(dram_now) {
             match req.kind {
                 RequestKind::Pim(_) => self.pim_acks.push(req),
                 RequestKind::MemRead => self.pending_fills.push_back(req),
@@ -338,6 +338,21 @@ impl Partition {
     /// Takes the PIM acks accumulated since the last call.
     pub fn take_pim_acks(&mut self) -> Vec<Request> {
         std::mem::take(&mut self.pim_acks)
+    }
+
+    /// Appends the accumulated PIM acks to `out` and clears the internal
+    /// buffer — the allocation-free form of [`Partition::take_pim_acks`]
+    /// for per-cycle consumers with a reusable scratch vector.
+    pub fn drain_pim_acks_into(&mut self, out: &mut Vec<Request>) {
+        out.append(&mut self.pim_acks);
+    }
+
+    /// The earliest DRAM cycle at or after `dram_now` at which this
+    /// partition has work, or `None` while it holds none anywhere
+    /// (staging queues, L2 pipeline, controller, reply buffers).
+    /// Conservative: an active partition always answers `dram_now`.
+    pub fn next_activity_cycle(&self, dram_now: Cycle) -> Option<Cycle> {
+        (!self.is_idle(dram_now)).then_some(dram_now)
     }
 
     /// The next MEM reply awaiting the reply network, if any.

@@ -25,6 +25,11 @@ pub struct Runner {
     pub policy: PolicyKind,
     /// Safety budget; runs failing to finish return an error.
     pub max_gpu_cycles: u64,
+    /// Skip provably idle spans instead of ticking them cycle by cycle
+    /// (see [`Simulator::set_fast_forward`]). On by default; results are
+    /// bit-identical either way, so turning it off is only useful for
+    /// validating that claim or profiling the lock-step path.
+    pub fast_forward: bool,
 }
 
 impl Runner {
@@ -35,7 +40,14 @@ impl Runner {
             system,
             policy,
             max_gpu_cycles: 60_000_000,
+            fast_forward: true,
         }
+    }
+
+    fn simulator(&self) -> Simulator {
+        let mut sim = Simulator::new(self.system.clone(), self.policy);
+        sim.set_fast_forward(self.fast_forward);
+        sim
     }
 }
 
@@ -52,13 +64,21 @@ pub struct SoloOutcome {
 
 impl SoloOutcome {
     /// Interconnect request arrival rate, requests per kilo-GPU-cycle.
+    /// A zero-cycle outcome has rate 0, not NaN.
     pub fn icnt_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
         self.icnt_injections as f64 * 1000.0 / self.cycles as f64
     }
 
     /// DRAM request arrival rate (MEM + PIM arrivals at the controllers),
-    /// requests per kilo-GPU-cycle.
+    /// requests per kilo-GPU-cycle. A zero-cycle outcome has rate 0, not
+    /// NaN.
     pub fn dram_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
         (self.mc.mem_arrivals + self.mc.pim_arrivals) as f64 * 1000.0 / self.cycles as f64
     }
 }
@@ -90,8 +110,12 @@ pub struct CoexecOutcome {
 
 impl CoexecOutcome {
     /// MEM request arrival rate at the MC, requests per kilo-GPU-cycle
-    /// (Figure 6's quantity before normalization).
+    /// (Figure 6's quantity before normalization). A zero-cycle outcome
+    /// has rate 0, not NaN.
     pub fn mem_arrival_rate(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
         self.mem_arrivals as f64 * 1000.0 / self.total_cycles as f64
     }
 
@@ -149,7 +173,7 @@ impl Runner {
         is_pim: bool,
     ) -> Result<SoloOutcome, CycleBudgetExceeded> {
         let slots = model.num_slots();
-        let mut sim = Simulator::new(self.system.clone(), self.policy);
+        let mut sim = self.simulator();
         let k = sim.mount(model, (sm_base..sm_base + slots).collect(), is_pim, false);
         sim.run_until_all_first_done(self.max_gpu_cycles)?;
         Ok(SoloOutcome {
@@ -180,7 +204,7 @@ impl Runner {
             pim_slots + gpu_slots <= self.system.gpu.num_sms,
             "kernels need more SMs than the GPU has"
         );
-        let mut sim = Simulator::new(self.system.clone(), self.policy);
+        let mut sim = self.simulator();
         let kp = sim.mount(pim, (0..pim_slots).collect(), pim_is_pim, true);
         let kg = sim.mount(
             gpu,
@@ -220,7 +244,11 @@ impl Runner {
     ) -> Result<CollabOutcome, CycleBudgetExceeded> {
         let pim_slots = pim.num_slots();
         let gpu_slots = gpu.num_slots();
-        let mut sim = Simulator::new(self.system.clone(), self.policy);
+        assert!(
+            pim_slots + gpu_slots <= self.system.gpu.num_sms,
+            "kernels need more SMs than the GPU has"
+        );
+        let mut sim = self.simulator();
         sim.mount(pim, (0..pim_slots).collect(), true, false);
         sim.mount(
             gpu,
@@ -356,5 +384,41 @@ mod tests {
         assert_eq!(a.gpu_first_run, b.gpu_first_run);
         assert_eq!(a.pim_first_run, b.pim_first_run);
         assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    #[test]
+    fn zero_cycle_solo_rates_are_zero_not_nan() {
+        let out = SoloOutcome {
+            cycles: 0,
+            icnt_injections: 42,
+            mc: McStats::default(),
+        };
+        assert_eq!(out.icnt_rate(), 0.0);
+        assert_eq!(out.dram_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_cycle_coexec_rate_is_zero_not_nan() {
+        let out = CoexecOutcome {
+            gpu_first_run: 0,
+            pim_first_run: 0,
+            gpu_starved: true,
+            pim_starved: true,
+            total_cycles: 0,
+            mem_arrivals: 7,
+            pim_arrivals: 7,
+            mc: McStats::default(),
+        };
+        assert_eq!(out.mem_arrival_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more SMs than the GPU has")]
+    fn collaborative_rejects_oversubscribed_sms() {
+        let r = runner(PolicyKind::FrFcfs);
+        let num_sms = r.system.gpu.num_sms;
+        let g = gpu_kernel(GpuBenchmark(8), num_sms, SCALE);
+        let p = pim_kernel(PimBenchmark(2), 32, 4, 256, SCALE);
+        let _ = r.collaborative(Box::new(g), Box::new(p));
     }
 }

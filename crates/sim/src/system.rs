@@ -1,8 +1,15 @@
 //! The full-system simulator: SMs → request crossbar → memory partitions
 //! (L2 + MC + DRAM) → reply crossbar → SMs, with the GPU and DRAM clock
 //! domains of Table I.
-
-use std::collections::HashMap;
+//!
+//! The main loop is event-driven where it can be: when every network
+//! queue and every partition is provably empty, the simulator jumps its
+//! clocks directly to the next cycle at which some kernel can issue
+//! (see [`Simulator::set_fast_forward`]), instead of ticking idle
+//! components one cycle at a time. The skip is exact — fast-forwarded
+//! runs are bit-identical to lock-step runs — because idle cycles mutate
+//! nothing but the clocks, and the clock coupling uses exact integer
+//! arithmetic ([`SystemConfig::dram_clock_ratio`]).
 
 use pimsim_dram::AddressMapper;
 use pimsim_gpu::KernelModel;
@@ -12,6 +19,103 @@ use pimsim_types::{
 };
 
 use crate::partition::Partition;
+
+/// Tag bit distinguishing simulator-internal request IDs (L2 fills and
+/// writebacks) from kernel request IDs held in the inflight table.
+const INTERNAL_ID_BIT: u64 = 1 << 63;
+
+/// One slot of the [`InflightTable`].
+#[derive(Debug, Clone, Copy)]
+struct InflightEntry {
+    /// Generation counter, bumped on every free so a recycled slot mints a
+    /// fresh 64-bit ID (concurrently inflight IDs stay unique, and the
+    /// completion heap's ID tie-break stays deterministic).
+    gen: u32,
+    /// `(kernel, slot)` owner while occupied.
+    owner: Option<(u32, u32)>,
+}
+
+/// Free-list slab mapping in-flight kernel [`RequestId`]s to their
+/// `(kernel, slot)` owners.
+///
+/// Replaces the seed's `HashMap<u64, (usize, usize)>`: lookups become a
+/// bounds-checked index (the ID's low 32 bits are the slab slot, the high
+/// bits its generation), inserts and removes are push/pop on a free list,
+/// and the table's footprint stays at the high-water mark of concurrently
+/// outstanding requests instead of rehashing on the hot path.
+#[derive(Debug, Default)]
+struct InflightTable {
+    entries: Vec<InflightEntry>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl InflightTable {
+    /// Generations are 31-bit so a composed ID can never collide with
+    /// [`INTERNAL_ID_BIT`].
+    const GEN_MASK: u32 = 0x7fff_ffff;
+
+    fn compose(gen: u32, slot: u32) -> u64 {
+        (u64::from(gen & Self::GEN_MASK) << 32) | u64::from(slot)
+    }
+
+    /// The ID the next [`InflightTable::insert`] will return, with no
+    /// state change. Letting the kernel model see the ID before the issue
+    /// commits means a failed `try_issue` leaves the table — and the ID
+    /// sequence — completely untouched, which the fast-forward path
+    /// requires: an idle cycle must mutate nothing.
+    fn peek_id(&self) -> RequestId {
+        match self.free.last() {
+            Some(&slot) => RequestId(Self::compose(self.entries[slot as usize].gen, slot)),
+            None => RequestId(Self::compose(0, u32::try_from(self.entries.len()).expect("slab"))),
+        }
+    }
+
+    /// Claims the peeked slot for `(kernel, slot)` and returns its ID.
+    fn insert(&mut self, kernel: usize, slot: usize) -> RequestId {
+        let owner = Some((kernel as u32, slot as u32));
+        self.len += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                let e = &mut self.entries[idx as usize];
+                debug_assert!(e.owner.is_none(), "free-list slot occupied");
+                e.owner = owner;
+                RequestId(Self::compose(e.gen, idx))
+            }
+            None => {
+                let idx = u32::try_from(self.entries.len()).expect("slab exceeds u32 slots");
+                self.entries.push(InflightEntry { gen: 0, owner });
+                RequestId(Self::compose(0, idx))
+            }
+        }
+    }
+
+    /// Releases `id` and returns its owner; `None` for internal IDs,
+    /// stale generations, and already-freed slots.
+    fn remove(&mut self, id: RequestId) -> Option<(usize, usize)> {
+        if id.0 & INTERNAL_ID_BIT != 0 {
+            return None;
+        }
+        let slot = (id.0 & 0xffff_ffff) as usize;
+        let e = self.entries.get_mut(slot)?;
+        if Self::compose(e.gen, slot as u32) != id.0 {
+            return None;
+        }
+        let (k, s) = e.owner.take()?;
+        e.gen = (e.gen + 1) & Self::GEN_MASK;
+        self.free.push(slot as u32);
+        self.len -= 1;
+        Some((k as usize, s as usize))
+    }
+
+    /// Number of live entries. O(1); the simulator uses this as the cheap
+    /// first gate of the idle-span check — any outstanding kernel request
+    /// means some component is busy, so the per-partition scan can be
+    /// skipped entirely.
+    fn len(&self) -> usize {
+        self.len
+    }
+}
 
 /// A kernel mounted on a set of SMs.
 pub struct MountedKernel {
@@ -95,11 +199,29 @@ pub struct Simulator {
     /// Outstanding requests per global SM (MEM kernels' throttle).
     sm_outstanding: Vec<usize>,
     /// RequestId -> (kernel, slot) for completion routing.
-    inflight: HashMap<u64, (usize, usize)>,
+    inflight: InflightTable,
     gpu_cycle: Cycle,
     dram_cycle: Cycle,
-    dram_acc: f64,
-    next_id: u64,
+    /// Integer clock-coupling accumulator: holds `gpu_cycles * clock_num
+    /// mod clock_den`; a DRAM cycle fires on every `clock_den` carry.
+    dram_acc: u64,
+    /// DRAM:GPU clock ratio as an exact rational (see
+    /// [`SystemConfig::dram_clock_ratio`]).
+    clock_num: u64,
+    clock_den: u64,
+    /// Monotonic counter for simulator-internal IDs (L2 fills and
+    /// writebacks), tagged with [`INTERNAL_ID_BIT`].
+    next_internal_id: u64,
+    /// Event-driven idle-span skipping (on by default; see
+    /// [`Simulator::set_fast_forward`]).
+    fast_forward: bool,
+    /// Reusable per-cycle buffers (PIM acks, delivered replies).
+    ack_scratch: Vec<Request>,
+    reply_scratch: Vec<Request>,
+    /// Number of idle-span jumps taken.
+    skips: u64,
+    /// GPU cycles covered by those jumps (not stepped one by one).
+    skipped_cycles: u64,
 }
 
 impl Simulator {
@@ -116,6 +238,7 @@ impl Simulator {
         let partitions = (0..channels)
             .map(|c| Partition::new(c, &cfg, policy.build()))
             .collect();
+        let (clock_num, clock_den) = cfg.dram_clock_ratio();
         Simulator {
             req_xbar: Crossbar::new(sms, channels, cfg.noc.input_queue_entries, cfg.noc.vc_mode)
                 .with_iterations(cfg.noc.islip_iterations),
@@ -124,14 +247,40 @@ impl Simulator {
             kernels: Vec::new(),
             sm_map: vec![None; sms],
             sm_outstanding: vec![0; sms],
-            inflight: HashMap::new(),
+            inflight: InflightTable::default(),
             gpu_cycle: 0,
             dram_cycle: 0,
-            dram_acc: 0.0,
-            next_id: 0,
+            dram_acc: 0,
+            clock_num,
+            clock_den,
+            next_internal_id: 0,
+            fast_forward: true,
+            ack_scratch: Vec::new(),
+            reply_scratch: Vec::new(),
+            skips: 0,
+            skipped_cycles: 0,
             mapper,
             cfg,
         }
+    }
+
+    /// Enables or disables event-driven idle-span skipping (on by
+    /// default). With it off, the simulator ticks every GPU cycle in
+    /// lock-step. Both modes produce bit-identical results; the flag
+    /// exists for regression testing and for measuring the speedup.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Whether event-driven idle-span skipping is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// `(jumps taken, GPU cycles covered by jumps)` — how much of the run
+    /// the event-driven path fast-forwarded over.
+    pub fn fast_forward_stats(&self) -> (u64, u64) {
+        (self.skips, self.skipped_cycles)
     }
 
     /// Mounts `model` on the given global SM indices.
@@ -206,8 +355,12 @@ impl Simulator {
         self.req_xbar.stats()
     }
 
-    fn alloc_id(next: &mut u64) -> RequestId {
-        let id = RequestId(*next);
+    /// Mints a simulator-internal ID (L2 fills and writebacks). These IDs
+    /// live outside the inflight table — [`INTERNAL_ID_BIT`] keeps the two
+    /// namespaces disjoint — and are only minted while traffic is in
+    /// flight, so the sequence is identical with fast-forward on or off.
+    fn alloc_internal_id(next: &mut u64) -> RequestId {
+        let id = RequestId(INTERNAL_ID_BIT | *next);
         *next += 1;
         id
     }
@@ -231,16 +384,16 @@ impl Simulator {
         });
 
         // 3. L2 stage per partition.
-        let next_id = &mut self.next_id;
+        let next_internal = &mut self.next_internal_id;
         for p in self.partitions.iter_mut() {
-            let mut alloc = || Self::alloc_id(next_id);
+            let mut alloc = || Self::alloc_internal_id(next_internal);
             p.step_l2(now, &mut alloc);
         }
 
-        // 4. DRAM clock domain.
-        self.dram_acc += self.cfg.dram_per_gpu_cycle();
-        while self.dram_acc >= 1.0 {
-            self.dram_acc -= 1.0;
+        // 4. DRAM clock domain (exact integer rational coupling).
+        self.dram_acc += self.clock_num;
+        while self.dram_acc >= self.clock_den {
+            self.dram_acc -= self.clock_den;
             let dram_now = self.dram_cycle;
             for p in self.partitions.iter_mut() {
                 p.step_dram(dram_now, &self.mapper);
@@ -249,11 +402,15 @@ impl Simulator {
         }
 
         // 5. PIM acks (credit return, out-of-band).
-        for c in 0..self.partitions.len() {
-            for ack in self.partitions[c].take_pim_acks() {
-                self.complete_request(&ack, now);
-            }
+        let mut acks = std::mem::take(&mut self.ack_scratch);
+        for p in self.partitions.iter_mut() {
+            p.drain_pim_acks_into(&mut acks);
         }
+        for ack in &acks {
+            self.complete_request(ack, now);
+        }
+        acks.clear();
+        self.ack_scratch = acks;
 
         // 6. Reply network: inject from partitions, deliver to SMs.
         for c in 0..self.partitions.len() {
@@ -269,19 +426,94 @@ impl Simulator {
                 }
             }
         }
-        let mut delivered: Vec<Request> = Vec::new();
+        let mut delivered = std::mem::take(&mut self.reply_scratch);
         self.reply_xbar.step(now, |_sm, _vc, req| {
             delivered.push(*req);
             true
         });
-        for rep in delivered {
-            self.complete_request(&rep, now);
+        for rep in &delivered {
+            self.complete_request(rep, now);
         }
+        delivered.clear();
+        self.reply_scratch = delivered;
 
         // 7. Kernel completion / restart bookkeeping.
         self.check_kernel_completion(now);
 
         self.gpu_cycle += 1;
+    }
+
+    /// Attempts to jump the clocks over a provably idle span, stopping at
+    /// `limit`. Returns whether any cycles were skipped.
+    ///
+    /// Soundness: the jump is taken only when both crossbars and every
+    /// partition report no activity, i.e. no request, reply, fill,
+    /// writeback, or DRAM command exists anywhere in the system. In that
+    /// state a lock-step [`Simulator::step`] provably mutates nothing but
+    /// the cycle counters — issue finds no ready kernel (by the
+    /// [`KernelModel::next_activity_cycle`] contract), the crossbars add
+    /// zero to their occupancy integrals without touching arbiter state,
+    /// `step_l2` finds empty queues, and `step_dram` early-returns before
+    /// ticking the channel. The only future event is kernel issue pacing,
+    /// so the earliest activity hook across kernels bounds the skip, and
+    /// the integer clock arithmetic advances `dram_cycle`/`dram_acc` to
+    /// exactly the values per-cycle stepping would produce.
+    ///
+    /// Note "no activity" really is required, not just "idle this cycle":
+    /// overshooting into a cycle where the controller is stepped would
+    /// desynchronize the `McStats` cycle/occupancy/BLP integrals, which
+    /// advance on every stepped controller cycle.
+    fn skip_idle_span(&mut self, limit: Cycle) -> bool {
+        let now = self.gpu_cycle;
+        if now >= limit {
+            return false;
+        }
+        // O(1) gate: every kernel request holds its inflight entry from
+        // crossbar injection until its reply (or ack) is delivered, so a
+        // nonempty table proves some component is busy without scanning
+        // any of them.
+        if self.inflight.len() > 0 {
+            return false;
+        }
+        if self.req_xbar.next_activity_cycle(now).is_some()
+            || self.reply_xbar.next_activity_cycle(now).is_some()
+        {
+            return false;
+        }
+        let dram_now = self.dram_cycle;
+        if self
+            .partitions
+            .iter()
+            .any(|p| p.next_activity_cycle(dram_now).is_some())
+        {
+            return false;
+        }
+        // The system is empty: only kernel pacing can create work.
+        let target = self
+            .kernels
+            .iter()
+            .filter_map(|k| k.model.next_activity_cycle(now))
+            .map(|c| c.max(now))
+            .min();
+        let Some(target) = target else {
+            // No kernel will ever issue again; let the lock-step path burn
+            // the budget exactly as it would with fast-forward off.
+            return false;
+        };
+        let target = target.min(limit);
+        if target <= now {
+            return false;
+        }
+        // Advance both clock domains exactly as `target - now` idle steps
+        // would: steps = (acc + span*num) div den, acc' = same mod den.
+        let span = target - now;
+        let total = self.dram_acc + span * self.clock_num;
+        self.dram_cycle += total / self.clock_den;
+        self.dram_acc = total % self.clock_den;
+        self.gpu_cycle = target;
+        self.skips += 1;
+        self.skipped_cycles += span;
+        true
     }
 
     fn issue_from_sms(&mut self, now: Cycle) {
@@ -299,7 +531,11 @@ impl Simulator {
             if !self.req_xbar.can_inject(sm, is_pim) {
                 continue;
             }
-            let id = Self::alloc_id(&mut self.next_id);
+            // Peek-then-commit: the ID is only consumed from the table if
+            // the kernel actually issues, so idle probes leave the
+            // allocator untouched (required for fast-forward bit-equality:
+            // skipped cycles must not have burned IDs).
+            let id = self.inflight.peek_id();
             let Some(issued) = kernel.model.try_issue(slot, now, id) else {
                 continue;
             };
@@ -320,7 +556,8 @@ impl Simulator {
                 .try_inject(sm, req, dest)
                 .expect("capacity checked");
             kernel.icnt_injections += 1;
-            self.inflight.insert(id.0, (k, slot));
+            let committed = self.inflight.insert(k, slot);
+            debug_assert_eq!(committed, id);
             if !is_pim {
                 self.sm_outstanding[sm] += 1;
             }
@@ -328,8 +565,8 @@ impl Simulator {
     }
 
     fn complete_request(&mut self, req: &Request, now: Cycle) {
-        let Some((k, slot)) = self.inflight.remove(&req.id.0) else {
-            // Fills and writebacks are simulator-internal: not in the map.
+        let Some((k, slot)) = self.inflight.remove(req.id) else {
+            // Fills and writebacks are simulator-internal: not in the table.
             return;
         };
         let kernel = &mut self.kernels[k];
@@ -415,6 +652,11 @@ impl Simulator {
                     progress,
                 });
             }
+            if self.fast_forward && self.skip_idle_span(max_gpu_cycles) {
+                // Re-check the budget before stepping: a skip clamped to
+                // `max_gpu_cycles` must error exactly like lock-step would.
+                continue;
+            }
             self.step();
         }
         Ok(self.gpu_cycle)
@@ -470,5 +712,67 @@ impl Simulator {
             agg.merge(p.mc.stats());
         }
         agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflight_peek_matches_insert_and_is_pure() {
+        let mut t = InflightTable::default();
+        let peeked = t.peek_id();
+        assert_eq!(t.peek_id(), peeked, "peek must be side-effect-free");
+        assert_eq!(t.len(), 0);
+        let id = t.insert(3, 7);
+        assert_eq!(id, peeked);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(id), Some((3, 7)));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn inflight_recycled_slot_gets_fresh_generation() {
+        let mut t = InflightTable::default();
+        let a = t.insert(0, 0);
+        assert_eq!(t.remove(a), Some((0, 0)));
+        let b = t.insert(1, 2);
+        assert_ne!(a, b, "recycled slot must mint a distinct ID");
+        // The stale ID no longer resolves.
+        assert_eq!(t.remove(a), None);
+        assert_eq!(t.remove(b), Some((1, 2)));
+    }
+
+    #[test]
+    fn inflight_rejects_internal_and_unknown_ids() {
+        let mut t = InflightTable::default();
+        let id = t.insert(0, 0);
+        assert_eq!(t.remove(RequestId(INTERNAL_ID_BIT | id.0)), None);
+        assert_eq!(t.remove(RequestId(id.0 + (1 << 32))), None, "wrong gen");
+        assert_eq!(t.remove(RequestId(999)), None, "slot never allocated");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(id), Some((0, 0)));
+        assert_eq!(t.remove(id), None, "double free");
+    }
+
+    #[test]
+    fn inflight_many_slots_stay_unique_while_outstanding() {
+        let mut t = InflightTable::default();
+        let ids: Vec<RequestId> = (0..64).map(|i| t.insert(i, i)).collect();
+        let mut sorted: Vec<u64> = ids.iter().map(|id| id.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64);
+        assert_eq!(t.len(), 64);
+        // Free half, reinsert, and confirm no live ID is ever duplicated.
+        for id in &ids[..32] {
+            t.remove(*id).unwrap();
+        }
+        let fresh: Vec<RequestId> = (0..32).map(|i| t.insert(100 + i, 0)).collect();
+        for f in &fresh {
+            assert!(!ids.contains(f), "generation bump must prevent reuse");
+        }
+        assert_eq!(t.len(), 64);
     }
 }

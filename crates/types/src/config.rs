@@ -452,6 +452,35 @@ impl SystemConfig {
         self.dram.clock_mhz / self.gpu.core_clock_mhz
     }
 
+    /// The DRAM:GPU clock ratio as an exact integer rational
+    /// `(numerator, denominator)`, reduced to lowest terms. The two-domain
+    /// stepper accumulates `numerator` per GPU cycle and steps the DRAM
+    /// whenever the accumulator crosses `denominator`; because the
+    /// arithmetic is integral, advancing `n` GPU cycles in one jump yields
+    /// exactly the same DRAM-cycle schedule as `n` single steps — a
+    /// property the f64 ratio cannot guarantee and which the event-driven
+    /// fast-forward path relies on.
+    ///
+    /// Clocks are rounded to kHz, which is exact for every real HBM/GPU
+    /// clock spec we model (Table I: 850 MHz / 1132 MHz).
+    pub fn dram_clock_ratio(&self) -> (u64, u64) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let (mut num, mut den) = (
+            (self.dram.clock_mhz * 1000.0).round() as u64,
+            (self.gpu.core_clock_mhz * 1000.0).round() as u64,
+        );
+        let gcd = {
+            let (mut a, mut b) = (num, den);
+            while b != 0 {
+                (a, b) = (b, a % b);
+            }
+            a.max(1)
+        };
+        num /= gcd;
+        den /= gcd;
+        (num, den)
+    }
+
     /// Bytes addressable per channel under the current geometry.
     pub fn bytes_per_channel(&self) -> u64 {
         self.dram.banks as u64
@@ -526,8 +555,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_pattern_chars() {
-        let mut cfg = SystemConfig::default();
-        cfg.addr_map = AddressMapConfig::BitPattern("RRXX".into());
+        let cfg = SystemConfig {
+            addr_map: AddressMapConfig::BitPattern("RRXX".into()),
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
@@ -536,6 +567,28 @@ mod tests {
         let cfg = SystemConfig::default();
         let r = cfg.dram_per_gpu_cycle();
         assert!((r - 850.0 / 1132.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_clock_ratio_is_reduced_and_consistent() {
+        let cfg = SystemConfig::default();
+        let (num, den) = cfg.dram_clock_ratio();
+        // gcd(850_000, 1_132_000) = 2_000.
+        assert_eq!((num, den), (425, 566));
+        let f = cfg.dram_per_gpu_cycle();
+        assert!((num as f64 / den as f64 - f).abs() < 1e-12);
+        // Jumping n cycles must equal n single steps for any accumulator.
+        let (mut acc_a, mut steps_a) = (0u64, 0u64);
+        for _ in 0..10_000u64 {
+            acc_a += num;
+            while acc_a >= den {
+                acc_a -= den;
+                steps_a += 1;
+            }
+        }
+        let total = 10_000u64 * num;
+        assert_eq!(steps_a, total / den);
+        assert_eq!(acc_a, total % den);
     }
 
     #[test]
@@ -550,8 +603,10 @@ mod tests {
 
     #[test]
     fn ipoly_variant_validates() {
-        let mut cfg = SystemConfig::default();
-        cfg.addr_map = AddressMapConfig::IPolyHash;
+        let cfg = SystemConfig {
+            addr_map: AddressMapConfig::IPolyHash,
+            ..Default::default()
+        };
         cfg.validate().unwrap();
     }
 }

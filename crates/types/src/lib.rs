@@ -25,6 +25,7 @@
 
 pub mod config;
 pub mod request;
+pub mod rng;
 
 pub use config::{
     AddressMapConfig, CacheConfig, DramConfig, DramTiming, GpuConfig, McConfig, NocConfig,
@@ -33,6 +34,7 @@ pub use config::{
 pub use request::{
     AppId, DecodedAddr, Mode, PhysAddr, PimCommand, PimOpKind, Request, RequestId, RequestKind,
 };
+pub use rng::SplitMix64;
 
 /// A simulation cycle count. The clock domain (GPU core vs. DRAM) is
 /// documented at each use site.

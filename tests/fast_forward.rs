@@ -1,0 +1,176 @@
+//! Fast-forward equivalence matrix: runs with idle-span skipping enabled
+//! must be bit-identical to lock-step runs — same total cycles, same
+//! merged controller stats — across policies, workloads, and VC modes.
+//! This is the correctness contract of the event-driven main loop: the
+//! skip may only cover cycles in which a lock-step `step()` would have
+//! mutated nothing but the clocks.
+
+use pim_coscheduling::core::policy::PolicyKind;
+use pim_coscheduling::core::McStats;
+use pim_coscheduling::sim::experiments::sweep::parallel_map;
+use pim_coscheduling::sim::Runner;
+use pim_coscheduling::types::{SystemConfig, VcMode};
+use pim_coscheduling::workloads::{
+    gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark,
+};
+
+const SCALE: f64 = 0.01;
+const BUDGET: u64 = 20_000_000;
+
+fn runner(policy: PolicyKind, vc_mode: VcMode, fast_forward: bool) -> Runner {
+    let mut cfg = SystemConfig::default();
+    cfg.noc.vc_mode = vc_mode;
+    let mut r = Runner::new(cfg, policy);
+    r.max_gpu_cycles = BUDGET;
+    r.fast_forward = fast_forward;
+    r
+}
+
+/// Field-by-field equality of merged controller stats. `McStats` holds
+/// histograms (no `PartialEq`), so the comparison goes through every
+/// counter plus each histogram's count/max/mean.
+fn assert_mc_identical(a: &McStats, b: &McStats, ctx: &str) {
+    assert_eq!(a.mem_arrivals, b.mem_arrivals, "{ctx}: mem_arrivals");
+    assert_eq!(a.pim_arrivals, b.pim_arrivals, "{ctx}: pim_arrivals");
+    assert_eq!(a.mem_served, b.mem_served, "{ctx}: mem_served");
+    assert_eq!(a.pim_served, b.pim_served, "{ctx}: pim_served");
+    assert_eq!(a.mem_row_hits, b.mem_row_hits, "{ctx}: mem_row_hits");
+    assert_eq!(a.mem_row_misses, b.mem_row_misses, "{ctx}: mem_row_misses");
+    assert_eq!(a.pim_row_hits, b.pim_row_hits, "{ctx}: pim_row_hits");
+    assert_eq!(a.pim_row_misses, b.pim_row_misses, "{ctx}: pim_row_misses");
+    assert_eq!(a.switches, b.switches, "{ctx}: switches");
+    assert_eq!(
+        a.switches_mem_to_pim, b.switches_mem_to_pim,
+        "{ctx}: switches_mem_to_pim"
+    );
+    assert_eq!(
+        a.mem_drain_latency_sum, b.mem_drain_latency_sum,
+        "{ctx}: mem_drain_latency_sum"
+    );
+    assert_eq!(a.switch_conflicts, b.switch_conflicts, "{ctx}: switch_conflicts");
+    assert_eq!(a.blp_sum, b.blp_sum, "{ctx}: blp_sum");
+    assert_eq!(a.active_cycles, b.active_cycles, "{ctx}: active_cycles");
+    assert_eq!(
+        a.mem_q_occupancy_sum, b.mem_q_occupancy_sum,
+        "{ctx}: mem_q_occupancy_sum"
+    );
+    assert_eq!(
+        a.pim_q_occupancy_sum, b.pim_q_occupancy_sum,
+        "{ctx}: pim_q_occupancy_sum"
+    );
+    assert_eq!(a.cycles, b.cycles, "{ctx}: cycles");
+    assert_eq!(a.cycles_mem_mode, b.cycles_mem_mode, "{ctx}: cycles_mem_mode");
+    assert_eq!(a.cycles_pim_mode, b.cycles_pim_mode, "{ctx}: cycles_pim_mode");
+    assert_eq!(a.cycles_draining, b.cycles_draining, "{ctx}: cycles_draining");
+    assert_eq!(
+        a.mem_latency.count(),
+        b.mem_latency.count(),
+        "{ctx}: mem_latency.count"
+    );
+    assert_eq!(a.mem_latency.max(), b.mem_latency.max(), "{ctx}: mem_latency.max");
+    assert_eq!(
+        a.mem_latency.mean(),
+        b.mem_latency.mean(),
+        "{ctx}: mem_latency.mean"
+    );
+    assert_eq!(
+        a.pim_latency.count(),
+        b.pim_latency.count(),
+        "{ctx}: pim_latency.count"
+    );
+    assert_eq!(a.pim_latency.max(), b.pim_latency.max(), "{ctx}: pim_latency.max");
+    assert_eq!(
+        a.pim_latency.mean(),
+        b.pim_latency.mean(),
+        "{ctx}: pim_latency.mean"
+    );
+}
+
+#[test]
+fn standalone_mem_matches_across_ff_modes() {
+    for policy in [PolicyKind::FrFcfs, PolicyKind::FrRrFcfs] {
+        for vc_mode in [VcMode::Shared, VcMode::SplitPim] {
+            for bench in [GpuBenchmark(3), GpuBenchmark(15)] {
+                let ctx = format!("{policy:?}/{vc_mode:?}/{bench:?}");
+                let run = |ff: bool| {
+                    runner(policy, vc_mode, ff)
+                        .standalone(Box::new(gpu_kernel(bench, 16, SCALE)), 0, false)
+                        .expect("finishes")
+                };
+                let on = run(true);
+                let off = run(false);
+                assert_eq!(on.cycles, off.cycles, "{ctx}: total cycles");
+                assert_eq!(on.icnt_injections, off.icnt_injections, "{ctx}: injections");
+                assert_mc_identical(&on.mc, &off.mc, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn standalone_pim_matches_across_ff_modes() {
+    for vc_mode in [VcMode::Shared, VcMode::SplitPim] {
+        let ctx = format!("pim/{vc_mode:?}");
+        let run = |ff: bool| {
+            runner(PolicyKind::FrFcfs, vc_mode, ff)
+                .standalone(
+                    Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+                    0,
+                    true,
+                )
+                .expect("finishes")
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.cycles, off.cycles, "{ctx}: total cycles");
+        assert_eq!(on.icnt_injections, off.icnt_injections, "{ctx}: injections");
+        assert_mc_identical(&on.mc, &off.mc, &ctx);
+    }
+}
+
+#[test]
+fn coexec_matches_across_ff_modes() {
+    for policy in [
+        PolicyKind::FrFcfs,
+        PolicyKind::f3fs_competitive(),
+        PolicyKind::MemFirst,
+    ] {
+        for vc_mode in [VcMode::Shared, VcMode::SplitPim] {
+            let ctx = format!("{policy:?}/{vc_mode:?}");
+            let run = |ff: bool| {
+                runner(policy, vc_mode, ff).coexec(
+                    Box::new(gpu_kernel(GpuBenchmark(8), 16, SCALE)),
+                    Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, SCALE)),
+                    true,
+                )
+            };
+            let on = run(true);
+            let off = run(false);
+            assert_eq!(on.gpu_first_run, off.gpu_first_run, "{ctx}: gpu first run");
+            assert_eq!(on.pim_first_run, off.pim_first_run, "{ctx}: pim first run");
+            assert_eq!(on.gpu_starved, off.gpu_starved, "{ctx}: gpu starved");
+            assert_eq!(on.pim_starved, off.pim_starved, "{ctx}: pim starved");
+            assert_eq!(on.total_cycles, off.total_cycles, "{ctx}: total cycles");
+            assert_mc_identical(&on.mc, &off.mc, &ctx);
+        }
+    }
+}
+
+#[test]
+fn determinism_holds_through_parallel_map() {
+    // The same configuration dispatched twice through the sweep machinery
+    // (worker threads claim work in nondeterministic order) must produce
+    // identical outcomes, fast-forward on or off.
+    let jobs: Vec<bool> = vec![true, false, true, false];
+    let outcomes = parallel_map(jobs, |ff| {
+        let out = runner(PolicyKind::f3fs_competitive(), VcMode::SplitPim, ff).coexec(
+            Box::new(gpu_kernel(GpuBenchmark(5), 16, SCALE)),
+            Box::new(pim_kernel(PimBenchmark(3), 32, 4, 256, SCALE)),
+            true,
+        );
+        (out.gpu_first_run, out.pim_first_run, out.total_cycles)
+    });
+    assert_eq!(outcomes[0], outcomes[1], "ff-on vs ff-off through sweep");
+    assert_eq!(outcomes[0], outcomes[2], "ff-on repeat");
+    assert_eq!(outcomes[1], outcomes[3], "ff-off repeat");
+}

@@ -53,8 +53,10 @@ fn table1_configuration_is_self_consistent() {
 
 #[test]
 fn fidelity_timing_extensions_validate() {
-    let mut cfg = SystemConfig::default();
-    cfg.timing = DramTiming::with_fidelity_extensions();
+    let cfg = SystemConfig {
+        timing: DramTiming::with_fidelity_extensions(),
+        ..Default::default()
+    };
     cfg.validate().unwrap();
     assert!(cfg.timing.t_faw > 0 && cfg.timing.t_refi > 0);
 }
@@ -73,8 +75,10 @@ fn config_validation_rejects_bad_islip_and_vc_combos() {
 
 #[test]
 fn ipoly_mapping_validates_and_differs_from_table1() {
-    let mut cfg = SystemConfig::default();
-    cfg.addr_map = AddressMapConfig::IPolyHash;
+    let cfg = SystemConfig {
+        addr_map: AddressMapConfig::IPolyHash,
+        ..Default::default()
+    };
     cfg.validate().unwrap();
     assert_ne!(cfg.addr_map, AddressMapConfig::table1());
 }

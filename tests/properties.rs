@@ -1,15 +1,16 @@
-//! Property-based tests (proptest) on the core substrates: the address
-//! mapper bijection, DRAM timing legality under arbitrary request
-//! streams, crossbar conservation, and policy sanity under arbitrary
-//! queue contents.
-
-use proptest::prelude::*;
+//! Property-style tests on the core substrates: the address mapper
+//! bijection, DRAM timing legality under arbitrary request streams,
+//! crossbar conservation, and policy sanity under arbitrary queue
+//! contents. Inputs are drawn from the workspace's deterministic PRNG
+//! (`pimsim_types::rng::SplitMix64`), so every case is reproducible from
+//! the loop seed printed in an assertion message.
 
 use pim_coscheduling::core::policy::{PolicyKind, PolicyView};
 use pim_coscheduling::core::queue::QueuedRequest;
 use pim_coscheduling::core::MemoryController;
 use pim_coscheduling::dram::{AddressMapper, Channel, DramCommand};
 use pim_coscheduling::noc::Crossbar;
+use pim_coscheduling::types::rng::SplitMix64;
 use pim_coscheduling::types::{
     AddressMapConfig, AppId, DecodedAddr, Mode, PhysAddr, PimCommand, PimOpKind, Request,
     RequestId, RequestKind, SystemConfig, VcMode,
@@ -25,63 +26,91 @@ fn mapper(ipoly: bool) -> AddressMapper {
     AddressMapper::new(&map, &cfg.dram, cfg.dram_word_bytes())
 }
 
-proptest! {
-    /// decode then encode is the identity on word-aligned addresses (both
-    /// mapping schemes), i.e. the mapping is a bijection.
-    #[test]
-    fn address_mapping_roundtrips(addr in 0u64..(1 << 50), ipoly in any::<bool>()) {
+/// decode then encode is the identity on word-aligned addresses (both
+/// mapping schemes), i.e. the mapping is a bijection.
+#[test]
+fn address_mapping_roundtrips() {
+    let mut rng = SplitMix64::new(0xA11);
+    for case in 0..512 {
+        let addr = rng.next_range(1 << 50);
+        let ipoly = rng.chance(0.5);
         let m = mapper(ipoly);
         let aligned = addr & !31;
         let d = m.decode(PhysAddr(aligned));
-        prop_assert_eq!(m.encode(d.channel, d.bank, d.row, d.col).0, aligned);
+        assert_eq!(
+            m.encode(d.channel, d.bank, d.row, d.col).0,
+            aligned,
+            "case {case}: addr {aligned:#x} ipoly={ipoly}"
+        );
     }
+}
 
-    /// The latency histogram's quantiles are monotone in p and bounded by
-    /// the observed max, for arbitrary observation streams.
-    #[test]
-    fn histogram_quantiles_are_monotone(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
-        use pim_coscheduling::stats::Histogram;
+/// The latency histogram's quantiles are monotone in p and bounded by the
+/// observed max, for arbitrary observation streams.
+#[test]
+fn histogram_quantiles_are_monotone() {
+    use pim_coscheduling::stats::Histogram;
+    let mut rng = SplitMix64::new(0xB22);
+    for case in 0..64 {
+        let n = 1 + rng.next_range(299) as usize;
         let mut h = Histogram::new();
-        for &v in &values {
-            h.record(v);
+        for _ in 0..n {
+            h.record(rng.next_range(1_000_000));
         }
         let mut last = 0u64;
         for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
             let q = h.quantile(p).expect("nonempty");
-            prop_assert!(q >= last, "quantiles must be monotone");
-            prop_assert!(q <= h.max());
+            assert!(q >= last, "case {case}: quantiles must be monotone");
+            assert!(q <= h.max(), "case {case}: quantile exceeds max");
             last = q;
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.count(), n as u64);
     }
+}
 
-    /// Decoded coordinates always respect the geometry.
-    #[test]
-    fn decoded_coordinates_in_range(addr in 0u64..(1 << 50), ipoly in any::<bool>()) {
-        let cfg = SystemConfig::default();
+/// Decoded coordinates always respect the geometry.
+#[test]
+fn decoded_coordinates_in_range() {
+    let cfg = SystemConfig::default();
+    let mut rng = SplitMix64::new(0xC33);
+    for case in 0..512 {
+        let addr = rng.next_range(1 << 50);
+        let ipoly = rng.chance(0.5);
         let m = mapper(ipoly);
         let d = m.decode(PhysAddr(addr));
-        prop_assert!((d.channel as usize) < cfg.dram.channels);
-        prop_assert!((d.bank as usize) < cfg.dram.banks);
-        prop_assert!(d.col < cfg.dram.cols_per_row);
+        assert!(
+            (d.channel as usize) < cfg.dram.channels,
+            "case {case}: channel"
+        );
+        assert!((d.bank as usize) < cfg.dram.banks, "case {case}: bank");
+        assert!(d.col < cfg.dram.cols_per_row, "case {case}: col");
     }
+}
 
-    /// Issuing any sequence of commands that `can_issue` admits never
-    /// panics and never leaves a bank in an inconsistent row state.
-    #[test]
-    fn dram_legal_sequences_never_panic(ops in proptest::collection::vec((0u8..6, 0usize..16, 0u32..64), 1..200)) {
-        let cfg = SystemConfig::default();
+/// Issuing any sequence of commands that `can_issue` admits never panics
+/// and never leaves a bank in an inconsistent row state.
+#[test]
+fn dram_legal_sequences_never_panic() {
+    let cfg = SystemConfig::default();
+    let mut rng = SplitMix64::new(0xD44);
+    for _case in 0..64 {
         let mut ch = Channel::new(&cfg.dram, &cfg.timing);
         let mut now = 0u64;
-        for (op, bank, row) in ops {
+        let len = 1 + rng.next_range(199);
+        for _ in 0..len {
             now += 1;
+            let op = rng.next_range(6) as u8;
+            let bank = rng.next_range(16) as usize;
+            let row = rng.next_range(64) as u32;
             let cmd = match op {
                 0 => DramCommand::Act { bank, row },
                 1 => DramCommand::Pre { bank },
                 2 => DramCommand::Read { bank },
                 3 => DramCommand::Write { bank },
                 4 => DramCommand::PimActAll { row },
-                _ => DramCommand::PimOp { writes_row: row % 2 == 0 },
+                _ => DramCommand::PimOp {
+                    writes_row: row.is_multiple_of(2),
+                },
             };
             if ch.can_issue(cmd, now) {
                 ch.issue(cmd, now);
@@ -90,36 +119,38 @@ proptest! {
             // reports a row that was never activated.
             for b in 0..ch.num_banks() {
                 if let Some(r) = ch.open_row(b) {
-                    prop_assert!(r < cfg.dram.rows_per_bank);
+                    assert!(r < cfg.dram.rows_per_bank);
                 }
             }
         }
     }
+}
 
-    /// The crossbar neither loses nor duplicates flits, under either VC
-    /// configuration and with one or two iSlip iterations.
-    #[test]
-    fn crossbar_conserves_flits(
-        routes in proptest::collection::vec((0usize..8, 0usize..4), 1..200),
-        vc2 in any::<bool>(),
-        iterations in 1usize..3,
-    ) {
+/// The crossbar neither loses nor duplicates flits, under either VC
+/// configuration and with one or two iSlip iterations.
+#[test]
+fn crossbar_conserves_flits() {
+    let mut rng = SplitMix64::new(0xE55);
+    for case in 0..64 {
+        let vc2 = rng.chance(0.5);
+        let iterations = 1 + rng.next_range(2) as usize;
         let mode = if vc2 { VcMode::SplitPim } else { VcMode::Shared };
         let mut x = Crossbar::new(8, 4, 64, mode).with_iterations(iterations);
         let mut injected = 0u64;
         let mut delivered = Vec::new();
-        let mut id = 0u64;
-        for (src, dest) in &routes {
+        let n_routes = 1 + rng.next_range(199);
+        for id in 0..n_routes {
+            let src = rng.next_range(8) as usize;
+            let dest = rng.next_range(4) as usize;
             let req = Request::new(
                 RequestId(id),
                 AppId::GPU,
                 RequestKind::MemRead,
                 PhysAddr(id * 32),
-                *src as u16,
+                src as u16,
                 0,
             );
-            id += 1;
-            if x.try_inject(*src, req, *dest).is_ok() {
+            if x.try_inject(src, req, dest).is_ok() {
                 injected += 1;
             }
         }
@@ -132,42 +163,54 @@ proptest! {
                 true
             });
         }
-        prop_assert_eq!(delivered.len() as u64, injected);
+        assert_eq!(delivered.len() as u64, injected, "case {case}: lost flits");
         let mut sorted = delivered.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), delivered.len(), "duplicate delivery");
+        assert_eq!(
+            sorted.len(),
+            delivered.len(),
+            "case {case}: duplicate delivery"
+        );
     }
+}
 
-    /// Policies always answer `desired_mode` with a servable mode: if the
-    /// chosen mode's queue is empty, the other queue must be too.
-    #[test]
-    fn policies_never_select_an_empty_mode(
-        mem_ages in proptest::collection::vec(0u64..1000, 0..8),
-        pim_ages in proptest::collection::vec(0u64..1000, 0..8),
-        mem_mode in any::<bool>(),
-    ) {
-        let mem: Vec<QueuedRequest> = mem_ages
-            .iter()
-            .enumerate()
-            .map(|(i, &age)| QueuedRequest {
-                req: Request::new(
-                    RequestId(age),
-                    AppId::GPU,
-                    RequestKind::MemRead,
-                    PhysAddr(age * 32),
-                    0,
-                    0,
-                ),
-                decoded: DecodedAddr { channel: 0, bank: (i % 16) as u16, row: age as u32 % 8, col: 0 },
-                age,
-                arrived: 0,
-                opened_row: false,
+/// Policies always answer `desired_mode` with a servable mode: if the
+/// chosen mode's queue is empty, the other queue must be too.
+#[test]
+fn policies_never_select_an_empty_mode() {
+    let mut rng = SplitMix64::new(0xF66);
+    for case in 0..128 {
+        let n_mem = rng.next_range(8) as usize;
+        let n_pim = rng.next_range(8) as usize;
+        let mem_mode = rng.chance(0.5);
+        let mem: Vec<QueuedRequest> = (0..n_mem)
+            .map(|i| {
+                let age = rng.next_range(1000);
+                QueuedRequest {
+                    req: Request::new(
+                        RequestId(age),
+                        AppId::GPU,
+                        RequestKind::MemRead,
+                        PhysAddr(age * 32),
+                        0,
+                        0,
+                    ),
+                    decoded: DecodedAddr {
+                        channel: 0,
+                        bank: (i % 16) as u16,
+                        row: age as u32 % 8,
+                        col: 0,
+                    },
+                    age,
+                    arrived: 0,
+                    opened_row: false,
+                }
             })
             .collect();
-        let mut sorted_pim = pim_ages.clone();
-        sorted_pim.sort_unstable();
-        let pim: std::collections::VecDeque<QueuedRequest> = sorted_pim
+        let mut pim_ages: Vec<u64> = (0..n_pim).map(|_| rng.next_range(1000)).collect();
+        pim_ages.sort_unstable();
+        let pim: std::collections::VecDeque<QueuedRequest> = pim_ages
             .iter()
             .map(|&age| QueuedRequest {
                 req: Request::new(
@@ -211,24 +254,25 @@ proptest! {
                 Mode::Mem => pim.len(),
                 Mode::Pim => mem.len(),
             };
-            prop_assert!(
+            assert!(
                 desired_len > 0 || other_len == 0,
-                "{} picked empty {desired} with the other queue nonempty",
+                "case {case}: {} picked empty {desired} with the other queue nonempty",
                 p.name()
             );
         }
     }
+}
 
-    /// The controller conserves requests for arbitrary small mixes.
-    #[test]
-    fn controller_conserves_arbitrary_mixes(
-        n_mem in 0usize..24,
-        n_pim in 0usize..24,
-        policy_idx in 0usize..9,
-    ) {
-        let cfg = SystemConfig::default();
-        let m = AddressMapper::new(&cfg.addr_map, &cfg.dram, 32);
-        let policy = PolicyKind::all()[policy_idx];
+/// The controller conserves requests for arbitrary small mixes.
+#[test]
+fn controller_conserves_arbitrary_mixes() {
+    let cfg = SystemConfig::default();
+    let m = AddressMapper::new(&cfg.addr_map, &cfg.dram, 32);
+    let mut rng = SplitMix64::new(0xAB7);
+    for case in 0..48 {
+        let n_mem = rng.next_range(24) as usize;
+        let n_pim = rng.next_range(24) as usize;
+        let policy = PolicyKind::all()[rng.next_range(PolicyKind::all().len() as u64) as usize];
         let mut mc = MemoryController::new(&cfg, policy.build());
         let mut expected = 0u64;
         for i in 0..n_mem.max(n_pim) {
@@ -237,7 +281,11 @@ proptest! {
                 let req = Request::new(
                     RequestId(expected),
                     AppId::GPU,
-                    if i % 3 == 0 { RequestKind::MemWrite } else { RequestKind::MemRead },
+                    if i % 3 == 0 {
+                        RequestKind::MemWrite
+                    } else {
+                        RequestKind::MemRead
+                    },
                     addr,
                     0,
                     0,
@@ -263,7 +311,16 @@ proptest! {
                     0,
                     0,
                 );
-                mc.enqueue(req, DecodedAddr { channel: 0, bank: 0, row: cmd.row, col: 0 }, 0);
+                mc.enqueue(
+                    req,
+                    DecodedAddr {
+                        channel: 0,
+                        bank: 0,
+                        row: cmd.row,
+                        col: 0,
+                    },
+                    0,
+                );
                 expected += 1;
             }
         }
@@ -275,6 +332,6 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(done, expected, "{} lost requests", policy.label());
+        assert_eq!(done, expected, "case {case}: {} lost requests", policy.label());
     }
 }
