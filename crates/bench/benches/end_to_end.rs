@@ -7,7 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pimsim_core::policy::PolicyKind;
 use pimsim_sim::Runner;
 use pimsim_types::SystemConfig;
-use pimsim_workloads::{gpu_kernel, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark};
+use pimsim_workloads::{gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark};
 
 fn coexec(policy: PolicyKind) -> u64 {
     let mut runner = Runner::new(SystemConfig::default(), policy);

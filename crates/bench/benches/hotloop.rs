@@ -11,7 +11,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pimsim_core::policy::PolicyKind;
 use pimsim_sim::Runner;
 use pimsim_types::SystemConfig;
-use pimsim_workloads::{gpu_kernel, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark};
+use pimsim_workloads::{gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark};
 
 const SCALE: f64 = 1.0;
 /// Co-execution is slower per simulated cycle; a smaller size keeps the
@@ -62,7 +62,9 @@ fn bench_hotloop(c: &mut Criterion) {
         ("coexec_f3fs", coexec_f3fs),
     ] {
         g.bench_function(&format!("{name}/ff_on"), |b| b.iter(|| black_box(f(true))));
-        g.bench_function(&format!("{name}/ff_off"), |b| b.iter(|| black_box(f(false))));
+        g.bench_function(&format!("{name}/ff_off"), |b| {
+            b.iter(|| black_box(f(false)))
+        });
     }
     g.finish();
 }

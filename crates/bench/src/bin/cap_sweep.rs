@@ -10,8 +10,8 @@ use pimsim_core::PolicyKind;
 use pimsim_sim::experiments::competitive::{run_competitive, CompetitiveConfig};
 use pimsim_stats::table::{f3, Table};
 use pimsim_types::VcMode;
-use pimsim_workloads::rodinia::GpuBenchmark;
 use pimsim_workloads::pim_suite::PimBenchmark;
+use pimsim_workloads::rodinia::GpuBenchmark;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -27,14 +27,11 @@ fn main() {
         (16, 32),
         (32, 64),
     ];
+    let f3fs = |m: u32, p: u32| {
+        PolicyKind::parse_spec(&format!("f3fs:mem-cap={m},pim-cap={p}")).expect("registered")
+    };
     let mut cfg = CompetitiveConfig::full(args.system(), args.scale, args.budget);
-    cfg.policies = caps
-        .iter()
-        .map(|&(m, p)| PolicyKind::F3fs {
-            mem_cap: m,
-            pim_cap: p,
-        })
-        .collect();
+    cfg.policies = caps.iter().map(|&(m, p)| f3fs(m, p)).collect();
     cfg.gpus = vec![4, 8, 11, 15, 17, 19]
         .into_iter()
         .map(GpuBenchmark)
@@ -60,10 +57,7 @@ fn main() {
         "VC2 throughput".into(),
     ]);
     for &(m, p) in &caps {
-        let policy = PolicyKind::F3fs {
-            mem_cap: m,
-            pim_cap: p,
-        };
+        let policy = f3fs(m, p);
         t.row(vec![
             format!("{m}/{p}"),
             f3(report.mean_fairness(policy, VcMode::Shared)),

@@ -7,8 +7,8 @@ use pimsim_core::PolicyKind;
 use pimsim_sim::experiments::competitive::{run_competitive, CompetitiveConfig};
 use pimsim_stats::table::{f3, Table};
 use pimsim_types::{DramTiming, VcMode};
-use pimsim_workloads::rodinia::GpuBenchmark;
 use pimsim_workloads::pim_suite::PimBenchmark;
+use pimsim_workloads::rodinia::GpuBenchmark;
 
 fn main() {
     let args = BenchArgs::parse();

@@ -7,14 +7,17 @@ use pimsim_bench::{header, BenchArgs};
 use pimsim_sim::experiments::competitive::{run_competitive, CompetitiveConfig};
 use pimsim_stats::table::{f2, f3, Table};
 use pimsim_types::VcMode;
-use pimsim_workloads::rodinia::GpuBenchmark;
 use pimsim_workloads::pim_suite::PimBenchmark;
+use pimsim_workloads::rodinia::GpuBenchmark;
 
 fn main() {
     let args = BenchArgs::parse();
     let mut cfg = CompetitiveConfig::full(args.system(), args.scale, args.budget);
     if args.quick {
-        cfg.gpus = vec![4, 8, 11, 15, 17, 19].into_iter().map(GpuBenchmark).collect();
+        cfg.gpus = vec![4, 8, 11, 15, 17, 19]
+            .into_iter()
+            .map(GpuBenchmark)
+            .collect();
         cfg.pims = vec![1, 2, 4].into_iter().map(PimBenchmark).collect();
     }
     eprintln!(
@@ -42,17 +45,16 @@ fn main() {
     }
     println!("{}", t.render());
 
-    let mean = |f: &dyn Fn(&pimsim_sim::experiments::competitive::CompetitivePoint) -> f64,
-                policy,
-                vc| {
-        let v: Vec<f64> = report
-            .points
-            .iter()
-            .filter(|p| p.policy == policy && p.vc == vc)
-            .map(f)
-            .collect();
-        v.iter().sum::<f64>() / v.len().max(1) as f64
-    };
+    let mean =
+        |f: &dyn Fn(&pimsim_sim::experiments::competitive::CompetitivePoint) -> f64, policy, vc| {
+            let v: Vec<f64> = report
+                .points
+                .iter()
+                .filter(|p| p.policy == policy && p.vc == vc)
+                .map(f)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
 
     header("Figure 10b: additional MEM conflicts per MEM->PIM switch (mean)");
     let mut t = Table::new(vec!["policy".into(), "VC1".into(), "VC2".into()]);

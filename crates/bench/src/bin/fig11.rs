@@ -9,7 +9,10 @@ use pimsim_types::VcMode;
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!("running the collaborative LLM scenario (scale {})...", args.scale);
+    eprintln!(
+        "running the collaborative LLM scenario (scale {})...",
+        args.scale
+    );
     let report = run_collaborative(&args.system(), args.scale, args.budget);
 
     header("Figure 11: LLM speedup over sequential execution");

@@ -6,8 +6,8 @@ use pimsim_bench::{header, BenchArgs};
 use pimsim_sim::experiments::competitive::{run_competitive, CompetitiveConfig};
 use pimsim_stats::table::{f3, Table};
 use pimsim_types::VcMode;
-use pimsim_workloads::rodinia::figure13_picks;
 use pimsim_workloads::pim_suite::PimBenchmark;
+use pimsim_workloads::rodinia::figure13_picks;
 
 fn main() {
     let args = BenchArgs::parse();

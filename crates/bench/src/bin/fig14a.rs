@@ -11,8 +11,8 @@ use pimsim_sim::experiments::collaborative::run_collaborative;
 use pimsim_sim::experiments::competitive::{run_competitive, CompetitiveConfig};
 use pimsim_stats::table::{f3, Table};
 use pimsim_types::VcMode;
-use pimsim_workloads::rodinia::GpuBenchmark;
 use pimsim_workloads::pim_suite::PimBenchmark;
+use pimsim_workloads::rodinia::GpuBenchmark;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -21,7 +21,10 @@ fn main() {
     // Stage 2: + current mode first (full symmetric F3FS).
     // Stage 3: + asymmetric caps (favoring the slower MEM kernel).
     let stages: Vec<(&str, PolicyKind)> = vec![
-        ("FR-FCFS-Cap (cap=32 hits)", PolicyKind::FrFcfsCap { cap: 32 }),
+        (
+            "FR-FCFS-Cap (cap=32 hits)",
+            PolicyKind::FrFcfsCap { cap: 32 },
+        ),
         (
             "+ cap on mode requests",
             PolicyKind::F3fsNoModeFirst {
@@ -51,9 +54,15 @@ fn main() {
     cfg.vcs = vec![VcMode::SplitPim];
     cfg.policies = stages.iter().map(|&(_, p)| p).collect();
     if args.quick {
-        cfg.gpus = vec![4, 8, 11, 15, 17, 19].into_iter().map(GpuBenchmark).collect();
+        cfg.gpus = vec![4, 8, 11, 15, 17, 19]
+            .into_iter()
+            .map(GpuBenchmark)
+            .collect();
     }
-    eprintln!("running Figure 14a ablation (P2 x {} GPU kernels + LLM)...", cfg.gpus.len());
+    eprintln!(
+        "running Figure 14a ablation (P2 x {} GPU kernels + LLM)...",
+        cfg.gpus.len()
+    );
     let competitive = run_competitive(&cfg);
 
     // LLM half: rerun the collaborative scenario per stage.

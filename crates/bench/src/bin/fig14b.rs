@@ -7,8 +7,8 @@ use pimsim_core::PolicyKind;
 use pimsim_sim::experiments::competitive::{run_competitive, CompetitiveConfig};
 use pimsim_stats::table::{f3, Table};
 use pimsim_types::VcMode;
-use pimsim_workloads::rodinia::GpuBenchmark;
 use pimsim_workloads::pim_suite::PimBenchmark;
+use pimsim_workloads::rodinia::GpuBenchmark;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -25,7 +25,10 @@ fn main() {
         cfg.policies = vec![PolicyKind::f3fs_competitive()];
         cfg.vcs = vec![VcMode::SplitPim];
         if args.quick {
-            cfg.gpus = vec![4, 8, 11, 15, 17, 19].into_iter().map(GpuBenchmark).collect();
+            cfg.gpus = vec![4, 8, 11, 15, 17, 19]
+                .into_iter()
+                .map(GpuBenchmark)
+                .collect();
             cfg.pims = vec![1, 2, 4].into_iter().map(PimBenchmark).collect();
         }
         eprintln!(

@@ -8,12 +8,21 @@ use pimsim_stats::table::Table;
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!("running 49 standalone characterization simulations (scale {})...", args.scale);
+    eprintln!(
+        "running 49 standalone characterization simulations (scale {})...",
+        args.scale
+    );
     let report = characterize(&args.system(), args.scale, args.budget);
 
     for (title, boxes) in [
-        ("Figure 4a: interconnect request arrival rate (req/kilo-GPU-cycle)", report.icnt_boxes()),
-        ("Figure 4b: DRAM request arrival rate (req/kilo-GPU-cycle)", report.dram_boxes()),
+        (
+            "Figure 4a: interconnect request arrival rate (req/kilo-GPU-cycle)",
+            report.icnt_boxes(),
+        ),
+        (
+            "Figure 4b: DRAM request arrival rate (req/kilo-GPU-cycle)",
+            report.dram_boxes(),
+        ),
         ("Figure 4c: DRAM bank-level parallelism", report.blp_boxes()),
         ("Figure 4d: DRAM row buffer hit rate", report.rbhr_boxes()),
     ] {

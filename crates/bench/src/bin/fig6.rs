@@ -8,14 +8,17 @@ use pimsim_core::PolicyKind;
 use pimsim_sim::experiments::competitive::{run_competitive, CompetitiveConfig};
 use pimsim_stats::table::{f2, Table};
 use pimsim_types::VcMode;
-use pimsim_workloads::rodinia::GpuBenchmark;
 use pimsim_workloads::pim_suite::PimBenchmark;
+use pimsim_workloads::rodinia::GpuBenchmark;
 
 fn main() {
     let args = BenchArgs::parse();
     let mut cfg = CompetitiveConfig::full(args.system(), args.scale, args.budget);
     if args.quick {
-        cfg.gpus = vec![4, 8, 11, 15, 17, 19].into_iter().map(GpuBenchmark).collect();
+        cfg.gpus = vec![4, 8, 11, 15, 17, 19]
+            .into_iter()
+            .map(GpuBenchmark)
+            .collect();
         cfg.pims = vec![1, 2, 4].into_iter().map(PimBenchmark).collect();
     }
     eprintln!(
@@ -80,5 +83,8 @@ fn main() {
     let v1 = mean(PolicyKind::MemFirst, VcMode::Shared);
     let v2 = mean(PolicyKind::MemFirst, VcMode::SplitPim);
     header("headline (paper: MEM-First improves 2.87x, degradation 68% -> 9%)");
-    println!("MEM-First mean normalized arrival rate: VC1 {v1:.2}, VC2 {v2:.2} ({:.2}x)", v2 / v1);
+    println!(
+        "MEM-First mean normalized arrival rate: VC1 {v1:.2}, VC2 {v2:.2} ({:.2}x)",
+        v2 / v1
+    );
 }

@@ -12,7 +12,10 @@ fn main() {
     let args = BenchArgs::parse();
     let mut cfg = CompetitiveConfig::full(args.system(), args.scale, args.budget);
     if args.quick {
-        cfg.gpus = vec![4, 8, 11, 15, 17, 19].into_iter().map(GpuBenchmark).collect();
+        cfg.gpus = vec![4, 8, 11, 15, 17, 19]
+            .into_iter()
+            .map(GpuBenchmark)
+            .collect();
     }
     eprintln!(
         "running competitive sweep: {} GPU x {} PIM x {} policies x {} VCs (scale {})...",

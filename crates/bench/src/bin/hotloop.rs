@@ -13,7 +13,7 @@ use pimsim_bench::header;
 use pimsim_core::policy::PolicyKind;
 use pimsim_sim::Runner;
 use pimsim_types::SystemConfig;
-use pimsim_workloads::{gpu_kernel, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark};
+use pimsim_workloads::{gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark};
 
 const SCALE: f64 = 1.0;
 /// Co-execution is slower per simulated cycle; a smaller size keeps the

@@ -17,16 +17,21 @@ use pimsim_workloads::{gpu_kernel, rodinia::GpuBenchmark};
 fn main() {
     let args = BenchArgs::parse();
     let gpus: Vec<GpuBenchmark> = if args.quick {
-        vec![3, 6, 11, 15, 17].into_iter().map(GpuBenchmark).collect()
+        vec![3, 6, 11, 15, 17]
+            .into_iter()
+            .map(GpuBenchmark)
+            .collect()
     } else {
         GpuBenchmark::all()
     };
-    eprintln!("running {} kernels x 2 mappings (scale {})...", gpus.len(), args.scale);
+    eprintln!(
+        "running {} kernels x 2 mappings (scale {})...",
+        gpus.len(),
+        args.scale
+    );
 
-    let jobs: Vec<(GpuBenchmark, bool)> = gpus
-        .iter()
-        .flat_map(|&g| [(g, false), (g, true)])
-        .collect();
+    let jobs: Vec<(GpuBenchmark, bool)> =
+        gpus.iter().flat_map(|&g| [(g, false), (g, true)]).collect();
     let scale = args.scale;
     let budget = args.budget;
     let system = args.system();

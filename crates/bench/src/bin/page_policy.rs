@@ -11,8 +11,8 @@ use pimsim_core::PolicyKind;
 use pimsim_sim::experiments::competitive::{run_competitive, CompetitiveConfig};
 use pimsim_stats::table::{f3, Table};
 use pimsim_types::{PagePolicy, VcMode};
-use pimsim_workloads::rodinia::GpuBenchmark;
 use pimsim_workloads::pim_suite::PimBenchmark;
+use pimsim_workloads::rodinia::GpuBenchmark;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -24,8 +24,10 @@ fn main() {
         "F3FS FI".into(),
         "F3FS ST".into(),
     ]);
-    for (label, policy) in [("open-page", PagePolicy::Open), ("closed-page", PagePolicy::Closed)]
-    {
+    for (label, policy) in [
+        ("open-page", PagePolicy::Open),
+        ("closed-page", PagePolicy::Closed),
+    ] {
         let mut system = args.system();
         system.mc.page_policy = policy;
         let mut cfg = CompetitiveConfig::full(system, args.scale, args.budget);

@@ -11,8 +11,8 @@ use pimsim_core::PolicyKind;
 use pimsim_sim::experiments::competitive::{run_competitive, CompetitiveConfig};
 use pimsim_stats::table::{f3, Table};
 use pimsim_types::VcMode;
-use pimsim_workloads::rodinia::GpuBenchmark;
 use pimsim_workloads::pim_suite::PimBenchmark;
+use pimsim_workloads::rodinia::GpuBenchmark;
 
 fn sweep(args: &BenchArgs, title: &str, policies: Vec<(String, PolicyKind)>) {
     let mut cfg = CompetitiveConfig::full(args.system(), args.scale, args.budget);
@@ -38,6 +38,13 @@ fn sweep(args: &BenchArgs, title: &str, policies: Vec<(String, PolicyKind)>) {
     println!("{}", t.render());
 }
 
+/// Builds a sweep point from a registry spec string, so this binary never
+/// names `PolicyKind` variants directly.
+fn spec(label: impl Into<String>, spec: String) -> (String, PolicyKind) {
+    let kind = PolicyKind::parse_spec(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+    (label.into(), kind)
+}
+
 fn main() {
     let args = BenchArgs::parse();
 
@@ -46,15 +53,7 @@ fn main() {
         "BLISS blacklist-threshold sweep (VC1)",
         [1u32, 2, 4, 8, 16]
             .into_iter()
-            .map(|th| {
-                (
-                    format!("threshold {th}"),
-                    PolicyKind::Bliss {
-                        threshold: th,
-                        clear_interval: 10_000,
-                    },
-                )
-            })
+            .map(|th| spec(format!("threshold {th}"), format!("bliss:threshold={th}")))
             .collect(),
     );
 
@@ -64,9 +63,9 @@ fn main() {
         [(24usize, 8usize), (40, 16), (56, 32), (60, 48)]
             .into_iter()
             .map(|(high, low)| {
-                (
+                spec(
                     format!("high {high} / low {low}"),
-                    PolicyKind::GatherIssue { high, low },
+                    format!("gi:high={high},low={low}"),
                 )
             })
             .collect(),
@@ -77,7 +76,7 @@ fn main() {
         "FR-FCFS-Cap row-hit-cap sweep (VC1)",
         [4u32, 8, 16, 32, 64, 128]
             .into_iter()
-            .map(|cap| (format!("cap {cap}"), PolicyKind::FrFcfsCap { cap }))
+            .map(|cap| spec(format!("cap {cap}"), format!("fr-fcfs-cap:cap={cap}")))
             .collect(),
     );
 }

@@ -10,16 +10,40 @@ use pimsim_core::PolicyKind;
 use pimsim_sim::experiments::competitive::{run_competitive, CompetitiveConfig};
 use pimsim_stats::table::{f3, Table};
 use pimsim_types::VcMode;
-use pimsim_workloads::rodinia::GpuBenchmark;
 use pimsim_workloads::pim_suite::PimBenchmark;
+use pimsim_workloads::rodinia::GpuBenchmark;
 
 fn main() {
     let args = BenchArgs::parse();
     let policies: Vec<(String, PolicyKind)> = vec![
-        ("SMS (batch 8)".into(), PolicyKind::Sms { batch_cap: 8, sjf_percent: 90 }),
-        ("SMS (batch 16)".into(), PolicyKind::Sms { batch_cap: 16, sjf_percent: 90 }),
-        ("SMS (batch 32)".into(), PolicyKind::Sms { batch_cap: 32, sjf_percent: 90 }),
-        ("SMS (batch 32, RR)".into(), PolicyKind::Sms { batch_cap: 32, sjf_percent: 0 }),
+        (
+            "SMS (batch 8)".into(),
+            PolicyKind::Sms {
+                batch_cap: 8,
+                sjf_percent: 90,
+            },
+        ),
+        (
+            "SMS (batch 16)".into(),
+            PolicyKind::Sms {
+                batch_cap: 16,
+                sjf_percent: 90,
+            },
+        ),
+        (
+            "SMS (batch 32)".into(),
+            PolicyKind::Sms {
+                batch_cap: 32,
+                sjf_percent: 90,
+            },
+        ),
+        (
+            "SMS (batch 32, RR)".into(),
+            PolicyKind::Sms {
+                batch_cap: 32,
+                sjf_percent: 0,
+            },
+        ),
         ("FR-FCFS".into(), PolicyKind::FrFcfs),
         ("FR-RR-FCFS".into(), PolicyKind::FrRrFcfs),
         ("F3FS".into(), PolicyKind::f3fs_competitive()),

@@ -10,15 +10,28 @@ fn main() {
     println!("GPU Parameters");
     println!("  Number of SMs: {}", c.gpu.num_sms);
     println!("  Core frequency: {} MHz", c.gpu.core_clock_mhz);
-    println!("  Max outstanding MEM/SM: {}", c.gpu.max_outstanding_mem_per_sm);
-    println!("  Max outstanding PIM/warp: {}", c.gpu.max_outstanding_pim_per_warp);
+    println!(
+        "  Max outstanding MEM/SM: {}",
+        c.gpu.max_outstanding_mem_per_sm
+    );
+    println!(
+        "  Max outstanding PIM/warp: {}",
+        c.gpu.max_outstanding_pim_per_warp
+    );
     println!("Memory Parameters");
     println!("  Channels/Banks: {}/{}", c.dram.channels, c.dram.banks);
     println!("  DRAM frequency: {} MHz", c.dram.clock_mhz);
     println!("  Bank groups: {}", c.dram.bank_groups);
-    println!("  L2 cache: {} KB total, {}-way, {} B lines",
-        c.cache.total_bytes / 1024, c.cache.ways, c.cache.line_bytes);
-    println!("  MEM-Q/PIM-Q size: {}/{} entries", c.mc.mem_q_entries, c.mc.pim_q_entries);
+    println!(
+        "  L2 cache: {} KB total, {}-way, {} B lines",
+        c.cache.total_bytes / 1024,
+        c.cache.ways,
+        c.cache.line_bytes
+    );
+    println!(
+        "  MEM-Q/PIM-Q size: {}/{} entries",
+        c.mc.mem_q_entries, c.mc.pim_q_entries
+    );
     println!("  NoC buffer size: {} entries", c.noc.input_queue_entries);
     println!("  PIM FUs: {}/channel", c.dram.pim_fus_per_channel);
     println!("  PIM RF size: {} entries", c.dram.pim_rf_entries);

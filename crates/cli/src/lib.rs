@@ -17,7 +17,7 @@ use pimsim_core::PolicyKind;
 use pimsim_sim::Runner;
 use pimsim_types::{SystemConfig, VcMode};
 use pimsim_workloads::{
-    gpu_kernel, llm_scenario, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark,
+    gpu_kernel, llm_scenario, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark,
 };
 
 /// A parsed CLI invocation.
@@ -110,23 +110,12 @@ pub fn parse_pim(s: &str) -> Result<PimBenchmark, ParseCliError> {
     }
 }
 
-/// Parses a policy name with optional `--mem-cap`/`--pim-cap` applied later.
+/// Parses a policy spec — a registered name, optionally followed by
+/// `:key=value,...` parameters — by delegating to the policy registry
+/// ([`PolicyKind::parse_spec`]). `--mem-cap`/`--pim-cap` flags are
+/// applied on top later via [`PolicyKind::apply_param`].
 pub fn parse_policy(s: &str) -> Result<PolicyKind, ParseCliError> {
-    match s.to_ascii_lowercase().as_str() {
-        "fcfs" => Ok(PolicyKind::Fcfs),
-        "mem-first" | "memfirst" => Ok(PolicyKind::MemFirst),
-        "pim-first" | "pimfirst" => Ok(PolicyKind::PimFirst),
-        "fr-fcfs" | "frfcfs" => Ok(PolicyKind::FrFcfs),
-        "fr-fcfs-cap" | "frfcfscap" => Ok(PolicyKind::FrFcfsCap { cap: 32 }),
-        "bliss" => Ok(PolicyKind::Bliss {
-            threshold: 4,
-            clear_interval: 10_000,
-        }),
-        "fr-rr-fcfs" | "frrrfcfs" => Ok(PolicyKind::FrRrFcfs),
-        "gi" | "g&i" | "gather-issue" => Ok(PolicyKind::GatherIssue { high: 56, low: 32 }),
-        "f3fs" => Ok(PolicyKind::f3fs_competitive()),
-        other => err(format!("unknown policy: {other}")),
-    }
+    PolicyKind::parse_spec(s).map_err(|e| ParseCliError(e.0))
 }
 
 /// Parses the full argument list (without the program name).
@@ -138,8 +127,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseCliError> {
         "list" => Ok(Command::List),
         "standalone" | "coexec" | "collab" => {
             let mut opts = RunOpts::default();
-            let mut mem_cap: Option<u32> = None;
-            let mut pim_cap: Option<u32> = None;
+            let mut mem_cap: Option<u64> = None;
+            let mut pim_cap: Option<u64> = None;
             let mut it = rest.iter();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, ParseCliError> {
@@ -174,14 +163,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseCliError> {
                             .map_err(|_| ParseCliError("--budget needs an integer".into()))?
                     }
                     "--mem-cap" => {
-                        mem_cap = Some(value("--mem-cap")?.parse().map_err(|_| {
-                            ParseCliError("--mem-cap needs an integer".into())
-                        })?)
+                        mem_cap = Some(
+                            value("--mem-cap")?
+                                .parse()
+                                .map_err(|_| ParseCliError("--mem-cap needs an integer".into()))?,
+                        )
                     }
                     "--pim-cap" => {
-                        pim_cap = Some(value("--pim-cap")?.parse().map_err(|_| {
-                            ParseCliError("--pim-cap needs an integer".into())
-                        })?)
+                        pim_cap = Some(
+                            value("--pim-cap")?
+                                .parse()
+                                .map_err(|_| ParseCliError("--pim-cap needs an integer".into()))?,
+                        )
                     }
                     other => return err(format!("unknown flag: {other}")),
                 }
@@ -189,16 +182,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseCliError> {
             if opts.scale <= 0.0 {
                 return err("--scale must be positive");
             }
-            if mem_cap.is_some() || pim_cap.is_some() {
-                let (m, p) = match opts.policy {
-                    PolicyKind::F3fs { mem_cap, pim_cap }
-                    | PolicyKind::F3fsNoModeFirst { mem_cap, pim_cap } => (mem_cap, pim_cap),
-                    _ => return err("--mem-cap/--pim-cap only apply to --policy f3fs"),
-                };
-                opts.policy = PolicyKind::F3fs {
-                    mem_cap: mem_cap.unwrap_or(m),
-                    pim_cap: pim_cap.unwrap_or(p),
-                };
+            for (key, value) in [("mem-cap", mem_cap), ("pim-cap", pim_cap)] {
+                if let Some(v) = value {
+                    opts.policy = opts
+                        .policy
+                        .apply_param(key, v)
+                        .map_err(|e| ParseCliError(format!("--{key}: {e}")))?;
+                }
             }
             match sub.as_str() {
                 "standalone" => {
@@ -227,8 +217,8 @@ pub const USAGE: &str = "usage:
   pimsim coexec --gpu G<n> --pim P<n> [common flags]
   pimsim collab [common flags]
 common flags:
-  --policy <fcfs|mem-first|pim-first|fr-fcfs|fr-fcfs-cap|bliss|fr-rr-fcfs|gi|f3fs>
-  --mem-cap N --pim-cap N      (f3fs only)
+  --policy <name[:key=value,...]>   (`pimsim list` prints every name)
+  --mem-cap N --pim-cap N           (f3fs variants only)
   --vc <1|2>  --scale F  --budget N";
 
 fn system_for(opts: &RunOpts) -> SystemConfig {
@@ -277,7 +267,16 @@ pub fn run(cmd: Command) -> i32 {
             for b in PimBenchmark::all() {
                 println!("  {b}");
             }
-            println!("policies: fcfs mem-first pim-first fr-fcfs fr-fcfs-cap bliss fr-rr-fcfs gi f3fs");
+            println!("policies (--policy <name[:key=value,...]>):");
+            for d in pimsim_core::policy::registry::descriptors() {
+                println!("  {:<20} {}", d.name, d.summary);
+                if !d.aliases.is_empty() {
+                    println!("  {:<20}   aliases: {}", "", d.aliases.join(", "));
+                }
+                for p in d.params {
+                    println!("  {:<20}   {}: {}", "", p.key, p.help);
+                }
+            }
             0
         }
         Command::Standalone(opts) => {
@@ -292,7 +291,11 @@ pub fn run(cmd: Command) -> i32 {
                 runner.standalone(Box::new(gpu_kernel(g, opts.sms, opts.scale)), 0, false)
             } else {
                 let p = opts.pim.expect("validated");
-                println!("standalone {p} on {} SMs (scale {})", channels / warps, opts.scale);
+                println!(
+                    "standalone {p} on {} SMs (scale {})",
+                    channels / warps,
+                    opts.scale
+                );
                 runner.standalone(
                     Box::new(pim_kernel(p, channels, warps, outstanding, opts.scale)),
                     0,
@@ -325,9 +328,7 @@ pub fn run(cmd: Command) -> i32 {
             let warps = system.gpu.pim_warps_per_sm;
             println!(
                 "coexec {g} (72 SMs) + {p} (8 SMs), {} under {} (scale {})",
-                opts.vc,
-                opts.policy,
-                opts.scale
+                opts.vc, opts.policy, opts.scale
             );
             // Standalone baselines for the metrics.
             let solo = Runner::new(system_for(&opts), PolicyKind::FrFcfs);
@@ -457,15 +458,36 @@ mod tests {
         let Command::Coexec(o) = cmd else {
             panic!("wrong subcommand")
         };
-        assert_eq!(o.policy, PolicyKind::F3fs { mem_cap: 64, pim_cap: 16 });
+        assert_eq!(
+            o.policy,
+            PolicyKind::F3fs {
+                mem_cap: 64,
+                pim_cap: 16
+            }
+        );
         assert_eq!(o.vc, VcMode::SplitPim);
     }
 
     #[test]
     fn rejects_caps_on_non_f3fs() {
-        let e = parse_args(&args("coexec --gpu G1 --pim P1 --policy fcfs --mem-cap 8"))
-            .unwrap_err();
-        assert!(e.0.contains("only apply"));
+        let e =
+            parse_args(&args("coexec --gpu G1 --pim P1 --policy fcfs --mem-cap 8")).unwrap_err();
+        assert!(e.0.contains("no tunable parameter"), "{e}");
+    }
+
+    #[test]
+    fn parses_policy_spec_with_parameters() {
+        let cmd = parse_args(&args("collab --policy bliss:threshold=8")).unwrap();
+        let Command::Collab(o) = cmd else {
+            panic!("wrong subcommand")
+        };
+        assert_eq!(
+            o.policy,
+            PolicyKind::Bliss {
+                threshold: 8,
+                clear_interval: 10_000
+            }
+        );
     }
 
     #[test]
@@ -480,19 +502,13 @@ mod tests {
     }
 
     #[test]
-    fn parses_every_policy_name() {
-        for name in [
-            "fcfs",
-            "mem-first",
-            "pim-first",
-            "fr-fcfs",
-            "fr-fcfs-cap",
-            "bliss",
-            "fr-rr-fcfs",
-            "gi",
-            "f3fs",
-        ] {
-            parse_policy(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+    fn parses_every_registered_policy_name() {
+        for d in pimsim_core::policy::registry::descriptors() {
+            let kind = parse_policy(d.name).unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            assert_eq!(kind, d.default_kind());
+            for alias in d.aliases {
+                assert_eq!(parse_policy(alias).unwrap(), kind, "alias {alias}");
+            }
         }
         assert!(parse_policy("nonsense").is_err());
     }

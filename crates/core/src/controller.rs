@@ -160,6 +160,12 @@ impl McStats {
     }
 }
 
+impl pimsim_stats::Mergeable for McStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
 /// One channel's memory controller.
 ///
 /// # Example
@@ -199,8 +205,7 @@ impl MemoryController {
     /// Creates a controller for one channel.
     pub fn new(cfg: &SystemConfig, policy: Box<dyn SchedulePolicy>) -> Self {
         let banks = cfg.dram.banks;
-        let rf_per_bank =
-            cfg.dram.pim_rf_entries * cfg.dram.pim_fus_per_channel / cfg.dram.banks;
+        let rf_per_bank = cfg.dram.pim_rf_entries * cfg.dram.pim_fus_per_channel / cfg.dram.banks;
         MemoryController {
             queues: McQueues::new(cfg.mc.mem_q_entries, cfg.mc.pim_q_entries),
             channel: Channel::new(&cfg.dram, &cfg.timing),
@@ -479,8 +484,13 @@ impl MemoryController {
                     let done = self.channel.issue(cmd, now).expect("column command");
                     let q = self.queues.remove_mem(idx);
                     self.note_mem_issued(&q, now);
-                    self.stats.mem_latency.record(done.saturating_sub(q.arrived));
-                    self.completions.push(Completion { req: q.req, at: done });
+                    self.stats
+                        .mem_latency
+                        .record(done.saturating_sub(q.arrived));
+                    self.completions.push(Completion {
+                        req: q.req,
+                        at: done,
+                    });
                     break 'banks;
                 }
             } else if self.open_rows[bank].is_some() {
@@ -565,8 +575,13 @@ impl MemoryController {
                     .oldest_mem_age()
                     .is_some_and(|mem_age| mem_age < q.age);
                 self.policy.on_pim_issued(&q, bypassed, now);
-                self.stats.pim_latency.record(done.saturating_sub(q.arrived));
-                self.completions.push(Completion { req: q.req, at: done });
+                self.stats
+                    .pim_latency
+                    .record(done.saturating_sub(q.arrived));
+                self.completions.push(Completion {
+                    req: q.req,
+                    at: done,
+                });
             }
             return;
         }

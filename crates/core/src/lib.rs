@@ -49,8 +49,7 @@ mod tests {
     use super::*;
     use pimsim_dram::AddressMapper;
     use pimsim_types::{
-        AppId, Mode, PhysAddr, PimCommand, PimOpKind, Request, RequestId, RequestKind,
-        SystemConfig,
+        AppId, Mode, PhysAddr, PimCommand, PimOpKind, Request, RequestId, RequestKind, SystemConfig,
     };
 
     fn cfg() -> SystemConfig {
@@ -72,7 +71,14 @@ mod tests {
         )
     }
 
-    fn pim_op(id: u64, op: PimOpKind, row: u32, col: u16, block_start: bool, block_id: u64) -> Request {
+    fn pim_op(
+        id: u64,
+        op: PimOpKind,
+        row: u32,
+        col: u16,
+        block_start: bool,
+        block_id: u64,
+    ) -> Request {
         let cmd = PimCommand {
             op,
             channel: 0,
@@ -82,7 +88,14 @@ mod tests {
             block_start,
             block_id,
         };
-        Request::new(RequestId(id), AppId::PIM, RequestKind::Pim(cmd), PhysAddr(0), 0, 0)
+        Request::new(
+            RequestId(id),
+            AppId::PIM,
+            RequestKind::Pim(cmd),
+            PhysAddr(0),
+            0,
+            0,
+        )
     }
 
     fn run_until_idle(mc: &mut MemoryController, limit: u64) -> Vec<Completion> {
@@ -138,12 +151,24 @@ mod tests {
         let c = cfg();
         let mut mc = MemoryController::new(&c, PolicyKind::FrFcfs.build());
         // A block of 4 ops to row 7: load, compute, compute, store.
-        mc.enqueue(pim_op(0, PimOpKind::RfLoad, 7, 0, true, 0), Default::default(), 0);
-        for (i, op) in [PimOpKind::RfCompute, PimOpKind::RfCompute, PimOpKind::RfStore]
-            .into_iter()
-            .enumerate()
+        mc.enqueue(
+            pim_op(0, PimOpKind::RfLoad, 7, 0, true, 0),
+            Default::default(),
+            0,
+        );
+        for (i, op) in [
+            PimOpKind::RfCompute,
+            PimOpKind::RfCompute,
+            PimOpKind::RfStore,
+        ]
+        .into_iter()
+        .enumerate()
         {
-            mc.enqueue(pim_op(1 + i as u64, op, 7, 1 + i as u32 as u16, false, 0), Default::default(), 0);
+            mc.enqueue(
+                pim_op(1 + i as u64, op, 7, 1 + i as u32 as u16, false, 0),
+                Default::default(),
+                0,
+            );
         }
         let done = run_until_idle(&mut mc, 500);
         assert_eq!(done.len(), 4);
@@ -161,7 +186,11 @@ mod tests {
         let mut mc = MemoryController::new(&c, PolicyKind::Fcfs.build());
         let r0 = mem_read(0, 0x0);
         mc.enqueue(r0, m.decode(r0.addr), 0);
-        mc.enqueue(pim_op(1, PimOpKind::RfLoad, 9, 0, true, 0), Default::default(), 0);
+        mc.enqueue(
+            pim_op(1, PimOpKind::RfLoad, 9, 0, true, 0),
+            Default::default(),
+            0,
+        );
         let r2 = mem_read(2, 0x20);
         mc.enqueue(r2, m.decode(r2.addr), 0);
         let done = run_until_idle(&mut mc, 2000);
@@ -178,7 +207,11 @@ mod tests {
         let c = cfg();
         let m = mapper(&c);
         let mut mc = MemoryController::new(&c, PolicyKind::MemFirst.build());
-        mc.enqueue(pim_op(0, PimOpKind::RfLoad, 3, 0, true, 0), Default::default(), 0);
+        mc.enqueue(
+            pim_op(0, PimOpKind::RfLoad, 3, 0, true, 0),
+            Default::default(),
+            0,
+        );
         for i in 0..8u64 {
             let r = mem_read(1 + i, i * 0x20);
             mc.enqueue(r, m.decode(r.addr), 0);
@@ -203,7 +236,11 @@ mod tests {
         );
         // Older PIM request, then a stream of MEM row hits that would run
         // forever under plain FR-FCFS.
-        mc.enqueue(pim_op(0, PimOpKind::RfLoad, 3, 0, true, 0), Default::default(), 0);
+        mc.enqueue(
+            pim_op(0, PimOpKind::RfLoad, 3, 0, true, 0),
+            Default::default(),
+            0,
+        );
         for i in 0..6u64 {
             let r = mem_read(1 + i, i * 0x20);
             mc.enqueue(r, m.decode(r.addr), 0);
@@ -377,7 +414,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(mc.stats().switch_conflicts, 0, "different row, no conflict charge");
+        assert_eq!(
+            mc.stats().switch_conflicts,
+            0,
+            "different row, no conflict charge"
+        );
     }
 
     #[test]
@@ -400,7 +441,10 @@ mod tests {
         let s = mc.stats();
         assert_eq!(s.mem_latency.count(), s.mem_served);
         assert_eq!(s.pim_latency.count(), s.pim_served);
-        assert!(s.mem_latency.quantile(0.5).unwrap() >= 13, "at least tCL+burst");
+        assert!(
+            s.mem_latency.quantile(0.5).unwrap() >= 13,
+            "at least tCL+burst"
+        );
     }
 
     #[test]
@@ -447,7 +491,10 @@ mod tests {
         }
         let done = run_until_idle(&mut mc, 4_000);
         assert_eq!(done.len(), 9);
-        assert!(mc.stats().switches >= 1, "conflict bits must force the switch");
+        assert!(
+            mc.stats().switches >= 1,
+            "conflict bits must force the switch"
+        );
     }
 
     #[test]
@@ -467,7 +514,10 @@ mod tests {
         };
         let (open_hits, _) = run(&cfg());
         let (closed_hits, closed_misses) = run(&c);
-        assert!(open_hits >= 6, "open-page burst must mostly hit ({open_hits})");
+        assert!(
+            open_hits >= 6,
+            "open-page burst must mostly hit ({open_hits})"
+        );
         assert_eq!(closed_hits + closed_misses, 8);
         assert!(
             closed_hits <= 1,

@@ -348,7 +348,11 @@ impl SchedulePolicy for Bliss {
                     .copied()
                     .flatten()
                     == Some(q.decoded.row);
-                (u8::from(self.is_blacklisted(q.req.app)), u8::from(!hit), q.age)
+                (
+                    u8::from(self.is_blacklisted(q.req.app)),
+                    u8::from(!hit),
+                    q.age,
+                )
             })
             .min();
         let best_pim = view.pim.front().map(|q| {
@@ -664,7 +668,11 @@ mod tests {
         p.on_mem_issued(&f.mem[0], true, 0);
         assert_eq!(p.desired_mode(&f.view()), Mode::Mem);
         p.on_mem_issued(&f.mem[0], true, 1);
-        assert_eq!(p.desired_mode(&f.view()), Mode::Pim, "cap reached: serve oldest");
+        assert_eq!(
+            p.desired_mode(&f.view()),
+            Mode::Pim,
+            "cap reached: serve oldest"
+        );
         // And MEM selection degrades to pure age order.
         assert_eq!(p.mem_class(&f.mem[0], true, &f.view()), 0);
         // Serving the oldest resets the counter.

@@ -95,7 +95,11 @@ impl SchedulePolicy for F3fs {
         let other = cur.other();
         // Work conservation: an empty current queue yields immediately.
         if view.queue_len(cur) == 0 {
-            return if view.queue_len(other) > 0 { other } else { cur };
+            return if view.queue_len(other) > 0 {
+                other
+            } else {
+                cur
+            };
         }
         // CAP exceeded while an older other-mode request waits: yield.
         if self.bypassed >= self.cap(cur) && view.queue_len(other) > 0 {

@@ -13,10 +13,12 @@
 
 mod baselines;
 mod f3fs;
+pub mod registry;
 mod sms;
 
 pub use baselines::{Bliss, Fcfs, FrFcfs, FrFcfsCap, FrRrFcfs, GatherIssue, MemFirst, PimFirst};
 pub use f3fs::F3fs;
+pub use registry::{ParamSpec, PolicyDescriptor, PolicyParseError};
 pub use sms::Sms;
 
 use std::collections::VecDeque;
@@ -313,6 +315,24 @@ impl PolicyKind {
             mem_cap: 32,
             pim_cap: 32,
         }
+    }
+
+    /// Parses a registry spec string (`"f3fs:mem-cap=64"`); see
+    /// [`registry::parse_spec`].
+    pub fn parse_spec(spec: &str) -> Result<PolicyKind, PolicyParseError> {
+        registry::parse_spec(spec)
+    }
+
+    /// The registered canonical spec name, e.g. `"fr-fcfs-cap"`; see
+    /// [`registry::canonical_name`].
+    pub fn canonical_name(self) -> &'static str {
+        registry::canonical_name(self)
+    }
+
+    /// Returns `self` with tunable parameter `key` set to `value`; see
+    /// [`registry::apply_param`].
+    pub fn apply_param(self, key: &str, value: u64) -> Result<PolicyKind, PolicyParseError> {
+        registry::apply_param(self, key, value)
     }
 }
 

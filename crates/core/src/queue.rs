@@ -248,7 +248,9 @@ mod tests {
             let (p, d) = pim_req(i);
             q.enqueue(p, d, 0);
         }
-        let ids: Vec<u64> = std::iter::from_fn(|| q.pop_pim()).map(|x| x.req.id.0).collect();
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop_pim())
+            .map(|x| x.req.id.0)
+            .collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
 

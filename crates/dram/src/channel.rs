@@ -107,6 +107,18 @@ pub struct ChannelStats {
     pub pim_blocks: u64,
 }
 
+impl pimsim_stats::Mergeable for ChannelStats {
+    fn merge_from(&mut self, o: &Self) {
+        self.refreshes += o.refreshes;
+        self.acts += o.acts;
+        self.pres += o.pres;
+        self.reads += o.reads;
+        self.writes += o.writes;
+        self.pim_ops += o.pim_ops;
+        self.pim_blocks += o.pim_blocks;
+    }
+}
+
 /// One HBM channel.
 #[derive(Debug, Clone)]
 pub struct Channel {
@@ -333,7 +345,10 @@ impl Channel {
             }
             DramCommand::PimOp { .. } => {
                 !self.refresh_pending
-                    && self.banks.iter().all(|b| b.row.is_some() && now >= b.next_col)
+                    && self
+                        .banks
+                        .iter()
+                        .all(|b| b.row.is_some() && now >= b.next_col)
                     && self.ccd_ok(now, usize::MAX)
             }
             DramCommand::ReadAuto { bank } => self.can_issue(DramCommand::Read { bank }, now),
@@ -351,7 +366,10 @@ impl Channel {
     /// Panics if the command is not legal at `now` (check with
     /// [`Channel::can_issue`] first).
     pub fn issue(&mut self, cmd: DramCommand, now: Cycle) -> Option<Cycle> {
-        assert!(self.can_issue(cmd, now), "illegal DRAM command {cmd:?} at cycle {now}");
+        assert!(
+            self.can_issue(cmd, now),
+            "illegal DRAM command {cmd:?} at cycle {now}"
+        );
         // Auto-precharge variants delegate to the plain column command
         // (before the command-bus slot is consumed) and then close the row.
         if let DramCommand::ReadAuto { bank } = cmd {
@@ -666,7 +684,10 @@ mod tests {
             let (t, _) = issue_when_ready(&mut ch0, DramCommand::Act { bank, row: 1 }, now);
             now = t + 1;
         }
-        assert!(now <= 14, "tFAW=0 must allow ACTs at the tRRD pace (got {now})");
+        assert!(
+            now <= 14,
+            "tFAW=0 must allow ACTs at the tRRD pace (got {now})"
+        );
     }
 
     #[test]
@@ -734,7 +755,10 @@ mod tests {
         // Re-activation waits for the implied precharge (tRAS then tRP).
         assert!(!ch.can_issue(DramCommand::Act { bank: 0, row: 6 }, t + 1));
         let (t2, _) = issue_when_ready(&mut ch, DramCommand::Act { bank: 0, row: 6 }, t);
-        assert!(t2 >= 28 + 12, "ACT at {t2} ignores the auto-precharge timing");
+        assert!(
+            t2 >= 28 + 12,
+            "ACT at {t2} ignores the auto-precharge timing"
+        );
         assert_eq!(ch.stats().pres, 1, "auto-precharge counts as a precharge");
     }
 

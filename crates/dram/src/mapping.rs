@@ -51,7 +51,10 @@ impl AddressMapper {
     /// [`pimsim_types::SystemConfig::validate`] to get an error instead) or
     /// if `word_bytes` is not a power of two.
     pub fn new(map: &AddressMapConfig, dram: &DramConfig, word_bytes: usize) -> Self {
-        assert!(word_bytes.is_power_of_two(), "word_bytes must be a power of two");
+        assert!(
+            word_bytes.is_power_of_two(),
+            "word_bytes must be a power of two"
+        );
         let offset_bits = word_bytes.trailing_zeros();
         let (pattern, ipoly) = match map {
             AddressMapConfig::BitPattern(p) => (p.clone(), false),
@@ -199,7 +202,15 @@ mod tests {
         // Pattern LSB side: ...CCCB DDDDD CCC -> bits 0-2 column, 3-7 channel.
         let m = mapper(false);
         let d0 = m.decode(PhysAddr(0));
-        assert_eq!(d0, DecodedAddr { channel: 0, bank: 0, row: 0, col: 0 });
+        assert_eq!(
+            d0,
+            DecodedAddr {
+                channel: 0,
+                bank: 0,
+                row: 0,
+                col: 0
+            }
+        );
         // Bit 5 (first above the 5 offset bits) is a column bit.
         let d = m.decode(PhysAddr(1 << 5));
         assert_eq!((d.channel, d.bank, d.row, d.col), (0, 0, 0, 1));

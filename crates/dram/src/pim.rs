@@ -168,7 +168,9 @@ mod tests {
     #[test]
     fn compute_before_load_is_rejected() {
         let mut e = PimEngine::new(8);
-        let err = e.execute(&cmd(PimOpKind::RfCompute, 3, true, 0)).unwrap_err();
+        let err = e
+            .execute(&cmd(PimOpKind::RfCompute, 3, true, 0))
+            .unwrap_err();
         assert!(err.reason.contains("never loaded"));
     }
 

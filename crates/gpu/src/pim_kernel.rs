@@ -77,7 +77,11 @@ impl PimKernelSpec {
         assert!(self.blocks_per_channel > 0, "{}: no work", self.name);
         assert!(self.channels > 0, "{}: no channels", self.name);
         assert!(self.rf_entries_per_bank > 0, "{}: no RF", self.name);
-        assert!(self.max_row > self.pattern.len() as u32, "{}: too few rows", self.name);
+        assert!(
+            self.max_row > self.pattern.len() as u32,
+            "{}: too few rows",
+            self.name
+        );
     }
 
     /// Total PIM operations across all channels per run.
@@ -239,9 +243,7 @@ impl KernelModel for PimKernelModel {
             self.issued += 1;
             // Synthesized address: unique per op, never used for routing
             // (the PIM command carries the channel/row/col target).
-            let addr = (u64::from(cmd.channel) << 48)
-                | (cmd.block_id << 16)
-                | u64::from(cmd.col);
+            let addr = (u64::from(cmd.channel) << 48) | (cmd.block_id << 16) | u64::from(cmd.col);
             return Some(IssuedRequest {
                 kind: RequestKind::Pim(cmd),
                 addr: PhysAddr(addr),
@@ -286,10 +288,7 @@ impl KernelModel for PimKernelModel {
         // PIM warps are throttled by store-buffer credits, not by time: a
         // warp with work left may become issuable the moment an ack
         // arrives, so the only safe answers are "now" and "never".
-        self.warps
-            .iter()
-            .any(|w| !w.done_issuing)
-            .then_some(now)
+        self.warps.iter().any(|w| !w.done_issuing).then_some(now)
     }
 }
 

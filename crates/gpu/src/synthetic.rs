@@ -53,7 +53,11 @@ impl GpuKernelParams {
     /// parameter is zero.
     pub fn validate(&self) {
         assert!(self.total_requests > 0, "{}: zero requests", self.name);
-        assert!(self.issue_interval > 0, "{}: zero issue interval", self.name);
+        assert!(
+            self.issue_interval > 0,
+            "{}: zero issue interval",
+            self.name
+        );
         assert!(
             (0.0..=1.0).contains(&self.read_fraction)
                 && (0.0..=1.0).contains(&self.row_locality)
@@ -61,7 +65,11 @@ impl GpuKernelParams {
             "{}: probabilities must be in [0,1]",
             self.name
         );
-        assert!(self.footprint_bytes >= WORD, "{}: footprint too small", self.name);
+        assert!(
+            self.footprint_bytes >= WORD,
+            "{}: footprint too small",
+            self.name
+        );
         assert!(self.streams_per_slot > 0, "{}: zero streams", self.name);
     }
 }
@@ -246,7 +254,10 @@ impl KernelModel for SyntheticGpuKernel {
 
     fn on_complete(&mut self, _slot: usize, _id: RequestId, _now: Cycle) {
         self.completed += 1;
-        debug_assert!(self.completed <= self.issued, "more completions than issues");
+        debug_assert!(
+            self.completed <= self.issued,
+            "more completions than issues"
+        );
     }
 
     fn is_done(&self) -> bool {
@@ -340,7 +351,10 @@ mod tests {
         for now in 0..1000 {
             if let Some(r) = k.try_issue(1, now, RequestId(issued)) {
                 let a = r.addr.0;
-                assert!(a >= span && a < 2 * span, "slot 1 escaped partition: {a:#x}");
+                assert!(
+                    a >= span && a < 2 * span,
+                    "slot 1 escaped partition: {a:#x}"
+                );
                 issued += 1;
                 if issued == 100 {
                     return;

@@ -46,7 +46,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error on line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error on line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -420,7 +424,10 @@ mod tests {
         let records = rec.into_records();
         assert_eq!(records.len(), issued.len());
         for (r, (slot, cycle, kind, addr)) in records.iter().zip(&issued) {
-            assert_eq!((r.slot, r.cycle, r.kind, r.addr), (*slot, *cycle, *kind, *addr));
+            assert_eq!(
+                (r.slot, r.cycle, r.kind, r.addr),
+                (*slot, *cycle, *kind, *addr)
+            );
         }
         // And the capture replays identically.
         let mut replay = TraceKernel::new("replay", 2, records);

@@ -288,7 +288,9 @@ impl Crossbar {
         output_done.clear();
         output_done.resize(self.n_out, false);
         scratch.proposal.resize(n_in, None);
-        scratch.requests_per_output.resize_with(self.n_out, Vec::new);
+        scratch
+            .requests_per_output
+            .resize_with(self.n_out, Vec::new);
         for _iter in 0..self.iterations {
             // Gather one proposal per ungranted input toward an
             // ungranted output: the VC round-robin choice first, falling
@@ -546,7 +548,8 @@ mod tests {
         for x in [&mut one, &mut two] {
             for i in 0..2 {
                 x.try_inject(i, pim_req(i as u64, i as u16), 0).unwrap();
-                x.try_inject(i, mem_req(10 + i as u64, i as u16), 1).unwrap();
+                x.try_inject(i, mem_req(10 + i as u64, i as u16), 1)
+                    .unwrap();
             }
         }
         let count = |x: &mut Crossbar| {

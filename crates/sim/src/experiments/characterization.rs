@@ -5,7 +5,7 @@
 use pimsim_core::PolicyKind;
 use pimsim_stats::{FiveNumber, Samples};
 use pimsim_types::SystemConfig;
-use pimsim_workloads::{gpu_kernel, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark};
+use pimsim_workloads::{gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark};
 
 use crate::runner::Runner;
 

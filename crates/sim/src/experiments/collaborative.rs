@@ -3,9 +3,9 @@
 //! multi-head attention on PIM — under every policy and VC configuration.
 
 use pimsim_core::PolicyKind;
+use pimsim_gpu::{PimKernelModel, SyntheticGpuKernel};
 use pimsim_types::{SystemConfig, VcMode};
 use pimsim_workloads::llm::{mha_spec, qkv_params};
-use pimsim_gpu::{PimKernelModel, SyntheticGpuKernel};
 
 use crate::runner::Runner;
 
@@ -97,10 +97,9 @@ pub fn run_collaborative(system: &SystemConfig, scale: f64, budget: u64) -> Coll
         sys.noc.vc_mode = vc;
         let mut runner = Runner::new(sys, policy);
         runner.max_gpu_cycles = budget;
-        let speedup = match runner.collaborative(
-            Box::new(qkv(system, scale)),
-            Box::new(mha(system, scale)),
-        ) {
+        let speedup = match runner
+            .collaborative(Box::new(qkv(system, scale)), Box::new(mha(system, scale)))
+        {
             Ok(out) => out.speedup(qkv_alone, mha_alone),
             // A policy that cannot finish the pair in budget effectively
             // serializes worse than sequential.

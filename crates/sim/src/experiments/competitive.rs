@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use pimsim_core::PolicyKind;
 use pimsim_types::{SystemConfig, VcMode};
-use pimsim_workloads::{gpu_kernel, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark};
+use pimsim_workloads::{gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark};
 
 use crate::runner::Runner;
 

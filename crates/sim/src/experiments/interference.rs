@@ -9,8 +9,8 @@
 use pimsim_core::PolicyKind;
 use pimsim_types::SystemConfig;
 use pimsim_workloads::{
-    gpu_kernel, pim_kernel, rodinia::memory_intensive_picks, rodinia::GpuBenchmark,
-    pim_suite::PimBenchmark,
+    gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::memory_intensive_picks,
+    rodinia::GpuBenchmark,
 };
 
 use crate::runner::Runner;

@@ -27,6 +27,8 @@
 
 pub mod experiments;
 pub mod partition;
+pub mod pipeline;
+mod run;
 pub mod runner;
 pub mod system;
 

@@ -1,30 +1,41 @@
 //! A memory partition: the per-channel slice of the memory subsystem
-//! (Figure 7) — interconnect→L2 staging queues, an L2 slice, L2→DRAM
-//! staging queues, and the memory controller.
+//! (Figure 7) — interconnect→L2 staging ports, an L2 slice, L2→DRAM
+//! staging ports, and the memory controller.
 //!
-//! Under the baseline VC1 configuration both staging queues are single
+//! Under the baseline VC1 configuration both staging ports are single
 //! FIFOs shared by MEM and PIM requests — the head-of-line blocking this
 //! causes is exactly the denial-of-service chain of Figure 7a. Under VC2
-//! each queue is split in half, one FIFO per request class.
+//! each port is split in half, one lane per request class
+//! ([`Port`] splits total capacity evenly, matching Section V-A's
+//! equal-total-buffering comparison).
+//!
+//! The partition is a DRAM-domain [`Component`]; its L2 front half ticks
+//! on the GPU clock via [`Partition::step_l2`]. Hand-offs with the rest
+//! of the pipeline are typed credit-based queues: the crossbar ejects
+//! into [`Partition::try_accept`] (the ingress [`Port`]), MEM replies
+//! leave through the [`Partition::reply`] wire, and PIM acks through the
+//! [`Partition::acks`] wire.
 
 use std::collections::VecDeque;
 
 use pimsim_cache::{AccessOutcome, CacheSlice};
+use pimsim_component::{Component, Port, Wire};
 use pimsim_core::{Completion, MemoryController, SchedulePolicy};
 use pimsim_dram::AddressMapper;
-use pimsim_types::{
-    Cycle, DecodedAddr, Request, RequestId, RequestKind, SystemConfig, VcMode,
-};
+use pimsim_types::{Cycle, DecodedAddr, Request, RequestId, RequestKind, SystemConfig, VcMode};
 
-/// Upper bound on buffered outbound replies before the L2 stalls.
+/// Soft threshold on buffered outbound replies before the L2 stalls.
+///
+/// Not a hard wire capacity: fill installs release all waiters at once
+/// and may briefly overshoot, exactly as the pre-port implementation did.
 const REPLY_OUT_CAP: usize = 64;
 
 /// Per-partition counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PartitionStats {
-    /// Requests accepted into the icnt→L2 queues.
+    /// Requests accepted into the icnt→L2 ingress port.
     pub icnt_accepted: u64,
-    /// Cycles the head of an icnt→L2 queue was stalled.
+    /// Cycles the head of an icnt→L2 lane was stalled.
     pub icnt_head_stalls: u64,
     /// Fill requests sent to DRAM.
     pub fills_sent: u64,
@@ -37,11 +48,11 @@ pub struct PartitionStats {
 pub struct Partition {
     channel: usize,
     vc_mode: VcMode,
-    icnt_q: Vec<VecDeque<Request>>,
-    icnt_cap_per_vc: usize,
+    /// Interconnect→L2 staging port (one lane per VC).
+    ingress: Port<Request>,
     l2: CacheSlice,
-    l2dram_q: Vec<VecDeque<Request>>,
-    l2dram_cap_per_vc: usize,
+    /// L2→DRAM staging port (one lane per VC).
+    to_dram: Port<Request>,
     /// The controller; public so experiments can read its stats.
     pub mc: MemoryController,
     /// L2 pipeline: (ready cycle, request) for hits and merged acks.
@@ -51,10 +62,10 @@ pub struct Partition {
     /// Dirty victims awaiting L2→DRAM space.
     pending_writebacks: VecDeque<Request>,
     /// MEM completions awaiting injection into the reply network.
-    reply_out: VecDeque<Request>,
+    reply: Wire<Request>,
     /// PIM acks awaiting credit return to the kernel.
-    pim_acks: Vec<Request>,
-    /// Round-robin pointers for VC service.
+    acks: Wire<Request>,
+    /// Round-robin pointers for lane service.
     rr_icnt: usize,
     rr_l2dram: usize,
     stats: PartitionStats,
@@ -67,17 +78,15 @@ impl Partition {
         Partition {
             channel,
             vc_mode: cfg.noc.vc_mode,
-            icnt_q: (0..vcs).map(|_| VecDeque::new()).collect(),
-            icnt_cap_per_vc: cfg.mc.icnt_to_l2_entries / vcs,
+            ingress: Port::new(vcs, cfg.mc.icnt_to_l2_entries),
             l2: CacheSlice::new(&cfg.cache, cfg.dram.channels),
-            l2dram_q: (0..vcs).map(|_| VecDeque::new()).collect(),
-            l2dram_cap_per_vc: cfg.mc.l2_to_dram_entries / vcs,
+            to_dram: Port::new(vcs, cfg.mc.l2_to_dram_entries),
             mc: MemoryController::new(cfg, policy),
             l2_delay: VecDeque::new(),
             pending_fills: VecDeque::new(),
             pending_writebacks: VecDeque::new(),
-            reply_out: VecDeque::new(),
-            pim_acks: Vec::new(),
+            reply: Wire::unbounded(),
+            acks: Wire::unbounded(),
             rr_icnt: 0,
             rr_l2dram: 0,
             stats: PartitionStats::default(),
@@ -89,9 +98,13 @@ impl Partition {
         self.channel
     }
 
-    /// Counters snapshot.
+    /// Counters snapshot (`icnt_accepted` is derived from the ingress
+    /// port's transfer stats).
     pub fn stats(&self) -> PartitionStats {
-        self.stats
+        PartitionStats {
+            icnt_accepted: self.ingress.total_pushed(),
+            ..self.stats
+        }
     }
 
     /// The L2 slice (for stats).
@@ -106,35 +119,55 @@ impl Partition {
         }
     }
 
-    /// Occupancy of the interconnect→L2 staging queue on `vc`.
+    /// The interconnect→L2 ingress port.
+    pub fn ingress(&self) -> &Port<Request> {
+        &self.ingress
+    }
+
+    /// Mutable access to the ingress port (tests and custom drivers).
+    pub fn ingress_mut(&mut self) -> &mut Port<Request> {
+        &mut self.ingress
+    }
+
+    /// The MEM reply wire feeding the reply network.
+    pub fn reply(&self) -> &Wire<Request> {
+        &self.reply
+    }
+
+    /// Mutable access to the reply wire (the reply network pops it).
+    pub fn reply_mut(&mut self) -> &mut Wire<Request> {
+        &mut self.reply
+    }
+
+    /// The PIM ack wire (out-of-band credit returns).
+    pub fn acks(&self) -> &Wire<Request> {
+        &self.acks
+    }
+
+    /// Mutable access to the ack wire (the completion stage drains it).
+    pub fn acks_mut(&mut self) -> &mut Wire<Request> {
+        &mut self.acks
+    }
+
+    /// Occupancy of the interconnect→L2 staging lane on `vc`.
     pub fn icnt_q_len(&self, vc: usize) -> usize {
-        self.icnt_q[vc].len()
+        self.ingress.lane(vc).len()
     }
 
-    /// Occupancy of the L2→DRAM staging queue on `vc`.
+    /// Occupancy of the L2→DRAM staging lane on `vc`.
     pub fn l2dram_q_len(&self, vc: usize) -> usize {
-        self.l2dram_q[vc].len()
+        self.to_dram.lane(vc).len()
     }
 
-    /// Number of virtual channels in this partition's staging queues.
+    /// Number of virtual channels in this partition's staging ports.
     pub fn vc_count(&self) -> usize {
-        self.icnt_q.len()
+        self.ingress.lane_count()
     }
 
-    /// Whether the ejection queue can accept a request on `vc`.
-    pub fn can_eject(&self, vc: usize) -> bool {
-        self.icnt_q[vc].len() < self.icnt_cap_per_vc
-    }
-
-    /// Accepts a request from the interconnect on `vc`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue is full (check [`Partition::can_eject`]).
-    pub fn eject(&mut self, vc: usize, req: Request) {
-        assert!(self.can_eject(vc), "icnt->L2 queue overflow");
-        self.icnt_q[vc].push_back(req);
-        self.stats.icnt_accepted += 1;
+    /// Accepts a request from the interconnect on `vc`, returning whether
+    /// the ingress lane had credit (the crossbar's eject hand-off).
+    pub fn try_accept(&mut self, vc: usize, req: Request) -> bool {
+        self.ingress.lane_mut(vc).try_send(req).is_ok()
     }
 
     /// One GPU-clock step of the L2 stage. `alloc_id` mints request IDs
@@ -163,17 +196,15 @@ impl Partition {
             ));
         }
         for w in waiters {
-            self.reply_out.push_back(w);
+            self.reply.send(w);
         }
     }
 
     fn drain_writebacks(&mut self) {
         let vc = self.vc_of(false);
-        while !self.pending_writebacks.is_empty()
-            && self.l2dram_q[vc].len() < self.l2dram_cap_per_vc
-        {
+        while !self.pending_writebacks.is_empty() && self.to_dram.lane(vc).can_accept() {
             let wb = self.pending_writebacks.pop_front().expect("nonempty");
-            self.l2dram_q[vc].push_back(wb);
+            self.to_dram.lane_mut(vc).send(wb);
             self.stats.writebacks_sent += 1;
         }
     }
@@ -181,18 +212,18 @@ impl Partition {
     /// L2 lookups per GPU cycle (the slice's banked tag pipeline).
     const L2_LOOKUPS_PER_CYCLE: usize = 2;
 
-    /// Services up to [`Self::L2_LOOKUPS_PER_CYCLE`] icnt→L2 queue heads
+    /// Services up to [`Self::L2_LOOKUPS_PER_CYCLE`] ingress lane heads
     /// per cycle, round-robin over VCs.
     fn pop_icnt(&mut self, now: Cycle, alloc_id: &mut dyn FnMut() -> RequestId) {
-        let vcs = self.icnt_q.len();
+        let vcs = self.ingress.lane_count();
         for _ in 0..Self::L2_LOOKUPS_PER_CYCLE {
-            if self.reply_out.len() >= REPLY_OUT_CAP {
+            if self.reply.len() >= REPLY_OUT_CAP {
                 return; // backpressure from the reply network
             }
             let mut serviced = false;
             for i in 0..vcs {
                 let vc = (self.rr_icnt + i) % vcs;
-                let Some(&head) = self.icnt_q[vc].front() else {
+                let Some(&head) = self.ingress.lane(vc).peek() else {
                     continue;
                 };
                 if self.try_service_head(vc, head, now, alloc_id) {
@@ -202,7 +233,7 @@ impl Partition {
                 }
                 self.stats.icnt_head_stalls += 1;
                 // Head-of-line blocking: under VC1 a stuck head stalls
-                // everything; under VC2 the other VC still gets its turn.
+                // everything; under VC2 the other lane still gets its turn.
             }
             if !serviced {
                 return;
@@ -210,7 +241,7 @@ impl Partition {
         }
     }
 
-    /// Attempts to service one queue head; returns whether it was consumed.
+    /// Attempts to service one lane head; returns whether it was consumed.
     fn try_service_head(
         &mut self,
         vc: usize,
@@ -221,9 +252,9 @@ impl Partition {
         if head.kind.is_pim() {
             // PIM bypasses the L2 entirely.
             let dvc = self.vc_of(true);
-            if self.l2dram_q[dvc].len() < self.l2dram_cap_per_vc {
-                self.icnt_q[vc].pop_front();
-                self.l2dram_q[dvc].push_back(head);
+            if self.to_dram.lane(dvc).can_accept() {
+                self.ingress.lane_mut(vc).recv();
+                self.to_dram.lane_mut(dvc).send(head);
                 return true;
             }
             return false;
@@ -231,17 +262,17 @@ impl Partition {
         // MEM: a miss needs L2→DRAM space for its fill; check first so the
         // lookup never has to be undone.
         let dvc = self.vc_of(false);
-        if self.l2dram_q[dvc].len() >= self.l2dram_cap_per_vc {
+        if !self.to_dram.lane(dvc).can_accept() {
             return false;
         }
         match self.l2.access(head, now) {
             AccessOutcome::Hit => {
-                self.icnt_q[vc].pop_front();
+                self.ingress.lane_mut(vc).recv();
                 self.l2_delay.push_back((now + self.l2.latency(), head));
                 true
             }
             AccessOutcome::MissAllocated => {
-                self.icnt_q[vc].pop_front();
+                self.ingress.lane_mut(vc).recv();
                 let fill = Request::new(
                     alloc_id(),
                     head.app,
@@ -250,12 +281,12 @@ impl Partition {
                     head.src_port,
                     now,
                 );
-                self.l2dram_q[dvc].push_back(fill);
+                self.to_dram.lane_mut(dvc).send(fill);
                 self.stats.fills_sent += 1;
                 true
             }
             AccessOutcome::MissMerged => {
-                self.icnt_q[vc].pop_front();
+                self.ingress.lane_mut(vc).recv();
                 true
             }
             AccessOutcome::Blocked => false,
@@ -266,40 +297,38 @@ impl Partition {
         while let Some(&(ready, req)) = self.l2_delay.front() {
             if ready <= now {
                 self.l2_delay.pop_front();
-                self.reply_out.push_back(req);
+                self.reply.send(req);
             } else {
                 break;
             }
         }
     }
 
-    /// One DRAM-clock step: ingest from L2→DRAM queues, advance the MC,
+    /// One DRAM-clock step: ingest from the L2→DRAM port, advance the MC,
     /// and sort its completions.
     pub fn step_dram(&mut self, dram_now: Cycle, mapper: &AddressMapper) {
         // Fast path: a fully idle controller with nothing to ingest can
         // skip the cycle entirely (common while a GPU-bound kernel
         // computes). Occupancy/BLP integrals skip these cycles too, which
         // only affects diagnostic averages.
-        if self.l2dram_q.iter().all(std::collections::VecDeque::is_empty)
-            && self.mc.is_idle(dram_now)
-        {
+        if self.to_dram.is_empty() && self.mc.is_idle(dram_now) {
             return;
         }
-        // Ingest up to two requests per DRAM cycle, round-robin over VCs,
-        // so queue entry never outpaces what the DRAM can service.
-        let vcs = self.l2dram_q.len();
+        // Ingest up to two requests per DRAM cycle, round-robin over
+        // lanes, so queue entry never outpaces what the DRAM can service.
+        let vcs = self.to_dram.lane_count();
         for _ in 0..2 {
             let mut ingested = false;
             for i in 0..vcs {
                 let vc = (self.rr_l2dram + i) % vcs;
-                let Some(&head) = self.l2dram_q[vc].front() else {
+                let Some(&head) = self.to_dram.lane(vc).peek() else {
                     continue;
                 };
                 let is_pim = head.kind.is_pim();
                 if !self.mc.can_accept(is_pim) {
                     continue;
                 }
-                self.l2dram_q[vc].pop_front();
+                self.to_dram.lane_mut(vc).recv();
                 let decoded = match head.kind {
                     RequestKind::Pim(cmd) => DecodedAddr {
                         channel: cmd.channel,
@@ -328,53 +357,50 @@ impl Partition {
         self.mc.step(dram_now);
         while let Some(Completion { req, .. }) = self.mc.pop_completion_before(dram_now) {
             match req.kind {
-                RequestKind::Pim(_) => self.pim_acks.push(req),
+                RequestKind::Pim(_) => self.acks.send(req),
                 RequestKind::MemRead => self.pending_fills.push_back(req),
                 RequestKind::MemWrite => {} // writeback retired
             }
         }
     }
 
-    /// Takes the PIM acks accumulated since the last call.
-    pub fn take_pim_acks(&mut self) -> Vec<Request> {
-        std::mem::take(&mut self.pim_acks)
-    }
-
-    /// Appends the accumulated PIM acks to `out` and clears the internal
-    /// buffer — the allocation-free form of [`Partition::take_pim_acks`]
-    /// for per-cycle consumers with a reusable scratch vector.
-    pub fn drain_pim_acks_into(&mut self, out: &mut Vec<Request>) {
-        out.append(&mut self.pim_acks);
-    }
-
     /// The earliest DRAM cycle at or after `dram_now` at which this
     /// partition has work, or `None` while it holds none anywhere
-    /// (staging queues, L2 pipeline, controller, reply buffers).
+    /// (staging ports, L2 pipeline, controller, reply/ack wires).
     /// Conservative: an active partition always answers `dram_now`.
     pub fn next_activity_cycle(&self, dram_now: Cycle) -> Option<Cycle> {
         (!self.is_idle(dram_now)).then_some(dram_now)
     }
 
-    /// The next MEM reply awaiting the reply network, if any.
-    pub fn peek_reply(&self) -> Option<&Request> {
-        self.reply_out.front()
-    }
-
-    /// Pops the reply previously returned by [`Partition::peek_reply`].
-    pub fn pop_reply(&mut self) -> Option<Request> {
-        self.reply_out.pop_front()
-    }
-
     /// Whether the partition holds no work at all.
     pub fn is_idle(&self, dram_now: Cycle) -> bool {
-        self.icnt_q.iter().all(VecDeque::is_empty)
-            && self.l2dram_q.iter().all(VecDeque::is_empty)
+        self.ingress.is_empty()
+            && self.to_dram.is_empty()
             && self.l2_delay.is_empty()
             && self.pending_fills.is_empty()
             && self.pending_writebacks.is_empty()
-            && self.reply_out.is_empty()
-            && self.pim_acks.is_empty()
+            && self.reply.is_empty()
+            && self.acks.is_empty()
             && self.mc.is_idle(dram_now)
+    }
+}
+
+impl Component for Partition {
+    /// Physical-address → bank/row/col decoding for MEM requests.
+    type Ctx<'a> = &'a AddressMapper;
+
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    /// One DRAM-clock tick ([`Partition::step_dram`]); the GPU-clock L2
+    /// front half is the separate [`Partition::step_l2`].
+    fn step(&mut self, now: Cycle, mapper: &AddressMapper) {
+        self.step_dram(now, mapper);
+    }
+
+    fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        Partition::next_activity_cycle(self, now)
     }
 }
 
@@ -417,7 +443,14 @@ mod tests {
             block_start: true,
             block_id: id,
         };
-        Request::new(RequestId(id), AppId::PIM, RequestKind::Pim(cmd), PhysAddr(0), 8, 0)
+        Request::new(
+            RequestId(id),
+            AppId::PIM,
+            RequestKind::Pim(cmd),
+            PhysAddr(0),
+            8,
+            0,
+        )
     }
 
     /// Drives the partition until quiet, returning delivered MEM replies
@@ -433,8 +466,8 @@ mod tests {
         for now in 0..cycles {
             p.step_l2(now, &mut alloc);
             p.step_dram(now, m); // 1:1 clocks are fine for unit tests
-            acks.extend(p.take_pim_acks());
-            while let Some(r) = p.pop_reply() {
+            p.acks_mut().drain_into(&mut acks);
+            while let Some(r) = p.reply_mut().recv() {
                 replies.push(r);
             }
         }
@@ -446,12 +479,13 @@ mod tests {
         let c = cfg();
         let mut p = partition(&c);
         let m = mapper(&c);
-        p.eject(0, mem_read(1, 0x40));
+        assert!(p.try_accept(0, mem_read(1, 0x40)));
         let (replies, acks) = drive(&mut p, &m, 300);
         assert_eq!(replies.len(), 1);
         assert_eq!(replies[0].id, RequestId(1));
         assert!(acks.is_empty());
         assert_eq!(p.stats().fills_sent, 1);
+        assert_eq!(p.stats().icnt_accepted, 1);
         assert!(p.is_idle(300));
     }
 
@@ -460,9 +494,9 @@ mod tests {
         let c = cfg();
         let mut p = partition(&c);
         let m = mapper(&c);
-        p.eject(0, mem_read(1, 0x40));
+        assert!(p.try_accept(0, mem_read(1, 0x40)));
         let _ = drive(&mut p, &m, 300);
-        p.eject(0, mem_read(2, 0x40));
+        assert!(p.try_accept(0, mem_read(2, 0x40)));
         let (replies, _) = drive(&mut p, &m, 100);
         assert_eq!(replies.len(), 1, "hit must reply without DRAM");
         assert_eq!(p.stats().fills_sent, 1, "no second fill");
@@ -473,31 +507,31 @@ mod tests {
         let c = cfg();
         let mut p = partition(&c);
         let m = mapper(&c);
-        p.eject(0, pim_load(5));
+        assert!(p.try_accept(0, pim_load(5)));
         let (replies, acks) = drive(&mut p, &m, 300);
         assert!(replies.is_empty());
         assert_eq!(acks.len(), 1);
         assert_eq!(acks[0].id, RequestId(5));
-        assert_eq!(p.l2().stats().hits + p.l2().stats().misses, 0, "L2 untouched");
+        assert_eq!(
+            p.l2().stats().hits + p.l2().stats().misses,
+            0,
+            "L2 untouched"
+        );
     }
 
     #[test]
     fn vc1_pim_blocks_mem_behind_it() {
-        // Fill the MC PIM path so PIM heads stall the shared queue.
+        // Fill the MC PIM path so PIM heads stall the shared lane.
         let mut c = cfg();
         c.mc.l2_to_dram_entries = 2;
         c.mc.pim_q_entries = 1;
         let mut p = Partition::new(0, &c, PolicyKind::MemFirst.build());
         let _m = mapper(&c);
-        // Many PIM requests then one MEM request in the shared VC.
+        // Many PIM requests then one MEM request in the shared lane.
         for i in 0..8 {
-            if p.can_eject(0) {
-                p.eject(0, pim_load(i));
-            }
+            let _ = p.try_accept(0, pim_load(i));
         }
-        if p.can_eject(0) {
-            p.eject(0, mem_read(100, 0x40));
-        }
+        let _ = p.try_accept(0, mem_read(100, 0x40));
         // After a few cycles with a tiny PIM queue, the MEM request is
         // still behind undrained PIM heads.
         let mut next_id = 1_000_000u64;
@@ -508,7 +542,11 @@ mod tests {
         for now in 0..3 {
             p.step_l2(now, &mut alloc);
         }
-        assert_eq!(p.stats().fills_sent, 0, "MEM must be stuck behind PIM heads");
+        assert_eq!(
+            p.stats().fills_sent,
+            0,
+            "MEM must be stuck behind PIM heads"
+        );
     }
 
     #[test]
@@ -516,39 +554,42 @@ mod tests {
         let mut c = cfg();
         c.noc.vc_mode = VcMode::SplitPim;
         c.mc.pim_q_entries = 1;
-        c.mc.l2_to_dram_entries = 4; // 2 per VC
+        c.mc.l2_to_dram_entries = 4; // 2 per lane
         let mut p = Partition::new(0, &c, PolicyKind::MemFirst.build());
         let m = mapper(&c);
         for i in 0..4 {
-            if p.can_eject(1) {
-                p.eject(1, pim_load(i));
-            }
+            let _ = p.try_accept(1, pim_load(i));
         }
-        p.eject(0, mem_read(100, 0x40));
+        assert!(p.try_accept(0, mem_read(100, 0x40)));
         let (replies, _) = drive(&mut p, &m, 300);
-        assert_eq!(replies.len(), 1, "MEM must complete via its own VC");
+        assert_eq!(replies.len(), 1, "MEM must complete via its own lane");
         let _ = m;
     }
 
     #[test]
-    fn eject_capacity_is_enforced() {
+    fn ingress_capacity_is_enforced() {
         let c = cfg();
         let mut p = partition(&c);
-        let cap = c.mc.icnt_to_l2_entries; // single VC
+        let cap = c.mc.icnt_to_l2_entries; // single lane
         for i in 0..cap as u64 {
-            assert!(p.can_eject(0));
-            p.eject(0, mem_read(i, i * 32));
+            assert!(p.ingress().lane(0).can_accept());
+            assert!(p.try_accept(0, mem_read(i, i * 32)));
         }
-        assert!(!p.can_eject(0));
+        assert!(!p.ingress().lane(0).can_accept());
+        assert!(
+            !p.try_accept(0, mem_read(99, 99 * 32)),
+            "refused, not panicked"
+        );
+        assert_eq!(p.ingress().lane(0).stats().refused, 1);
     }
 
     #[test]
     #[should_panic(expected = "overflow")]
-    fn eject_overflow_panics() {
+    fn ingress_overflow_panics() {
         let c = cfg();
         let mut p = partition(&c);
         for i in 0..=c.mc.icnt_to_l2_entries as u64 {
-            p.eject(0, mem_read(i, i * 32));
+            p.ingress_mut().lane_mut(0).send(mem_read(i, i * 32));
         }
     }
 }

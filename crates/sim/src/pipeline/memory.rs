@@ -1,0 +1,87 @@
+//! The memory stage: every per-channel partition (L2 slice + memory
+//! controller + DRAM/PIM channel), plus the internal-ID allocator for L2
+//! fills and writebacks.
+
+use pimsim_core::PolicyKind;
+use pimsim_dram::AddressMapper;
+use pimsim_types::{Cycle, RequestId, SystemConfig};
+
+use super::completion::INTERNAL_ID_BIT;
+use crate::partition::Partition;
+
+/// All memory partitions, stepped together in both clock domains: the L2
+/// front halves on the GPU clock, the controllers and DRAM channels on
+/// the DRAM clock.
+#[derive(Debug)]
+pub struct MemoryStage {
+    partitions: Vec<Partition>,
+    /// Monotonic counter for simulator-internal IDs (L2 fills and
+    /// writebacks), tagged with [`INTERNAL_ID_BIT`].
+    next_internal_id: u64,
+}
+
+impl MemoryStage {
+    /// Builds one partition per DRAM channel, each with its own policy
+    /// instance.
+    pub fn new(cfg: &SystemConfig, policy: PolicyKind) -> Self {
+        MemoryStage {
+            partitions: (0..cfg.dram.channels)
+                .map(|c| Partition::new(c, cfg, policy.build()))
+                .collect(),
+            next_internal_id: 0,
+        }
+    }
+
+    /// The partitions (for stats).
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Mutable access to all partitions.
+    pub fn partitions_mut(&mut self) -> &mut [Partition] {
+        &mut self.partitions
+    }
+
+    /// Mutable access to the partition serving channel `c`.
+    pub fn partition_mut(&mut self, c: usize) -> &mut Partition {
+        &mut self.partitions[c]
+    }
+
+    /// Number of channels (= partitions).
+    pub fn channel_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// One GPU-clock tick of every partition's L2 front half. Fill and
+    /// writeback IDs are minted here: internal IDs live outside the
+    /// inflight table — [`INTERNAL_ID_BIT`] keeps the two namespaces
+    /// disjoint — and are only minted while traffic is in flight, so the
+    /// sequence is identical with fast-forward on or off.
+    pub fn step_l2_all(&mut self, now: Cycle) {
+        let next = &mut self.next_internal_id;
+        for p in &mut self.partitions {
+            let mut alloc = || {
+                let id = RequestId(INTERNAL_ID_BIT | *next);
+                *next += 1;
+                id
+            };
+            p.step_l2(now, &mut alloc);
+        }
+    }
+
+    /// One DRAM-clock tick of every partition's controller and channel.
+    pub fn step_dram_all(&mut self, dram_now: Cycle, mapper: &AddressMapper) {
+        for p in &mut self.partitions {
+            p.step_dram(dram_now, mapper);
+        }
+    }
+
+    /// The earliest DRAM cycle at or after `dram_now` at which any
+    /// partition has work, or `None` while all are idle.
+    pub fn next_activity_cycle(&self, dram_now: Cycle) -> Option<Cycle> {
+        self.partitions
+            .iter()
+            .filter_map(|p| p.next_activity_cycle(dram_now))
+            .min()
+    }
+}

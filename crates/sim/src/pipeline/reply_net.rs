@@ -1,0 +1,75 @@
+//! The reply network: the partitions→SMs crossbar. Pulls from each
+//! partition's reply wire and delivers completions toward the issuing SM.
+
+use pimsim_component::Component;
+use pimsim_noc::Crossbar;
+use pimsim_types::{Cycle, Request, SystemConfig, VcMode};
+
+use super::memory::MemoryStage;
+
+/// External state the reply network borrows for one step: the partitions
+/// it pulls replies from, and the scratch vector it delivers into (the
+/// completion stage retires the delivered requests afterwards).
+pub struct ReplyNetCtx<'a> {
+    /// The memory stage whose reply wires feed the network.
+    pub memory: &'a mut MemoryStage,
+    /// Requests delivered to their SM this cycle.
+    pub delivered: &'a mut Vec<Request>,
+}
+
+/// The partitions→SMs reply crossbar (shared-VC: replies are one class).
+#[derive(Debug)]
+pub struct ReplyNet {
+    xbar: Crossbar,
+}
+
+impl ReplyNet {
+    /// Builds the reply crossbar from the NoC configuration.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        ReplyNet {
+            xbar: Crossbar::new(
+                cfg.dram.channels,
+                cfg.gpu.num_sms,
+                cfg.noc.reply_queue_entries,
+                VcMode::Shared,
+            ),
+        }
+    }
+}
+
+impl Component for ReplyNet {
+    type Ctx<'a> = ReplyNetCtx<'a>;
+
+    fn name(&self) -> &'static str {
+        "reply-net"
+    }
+
+    /// Injects as many buffered replies as each input port has credit
+    /// for, then runs one arbitration cycle; ejection at an SM always
+    /// succeeds (SMs sink replies without backpressure).
+    fn step(&mut self, now: Cycle, ctx: ReplyNetCtx<'_>) {
+        for c in 0..ctx.memory.channel_count() {
+            let p = ctx.memory.partition_mut(c);
+            while let Some(rep) = p.reply().peek() {
+                let dest = rep.src_port as usize;
+                if self.xbar.can_inject(c, false) {
+                    let rep = p.reply_mut().recv().expect("peeked");
+                    self.xbar
+                        .try_inject(c, rep, dest)
+                        .expect("capacity checked");
+                } else {
+                    break;
+                }
+            }
+        }
+        let delivered = ctx.delivered;
+        self.xbar.step(now, |_sm, _vc, req| {
+            delivered.push(*req);
+            true
+        });
+    }
+
+    fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        self.xbar.next_activity_cycle(now)
+    }
+}

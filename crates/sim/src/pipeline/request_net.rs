@@ -1,0 +1,77 @@
+//! The request network: the SMs→partitions crossbar, ejecting into each
+//! partition's ingress port.
+
+use pimsim_component::Component;
+use pimsim_noc::{Crossbar, CrossbarStats};
+use pimsim_types::{Cycle, Request, SystemConfig};
+
+use super::memory::MemoryStage;
+
+/// The SMs→partitions crossbar (iSlip-arbitrated, per-VC input queues).
+#[derive(Debug)]
+pub struct RequestNet {
+    xbar: Crossbar,
+}
+
+impl RequestNet {
+    /// Builds the request crossbar from the NoC configuration.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        RequestNet {
+            xbar: Crossbar::new(
+                cfg.gpu.num_sms,
+                cfg.dram.channels,
+                cfg.noc.input_queue_entries,
+                cfg.noc.vc_mode,
+            )
+            .with_iterations(cfg.noc.islip_iterations),
+        }
+    }
+
+    /// Whether input port `input` can accept a request of this class.
+    pub fn can_inject(&self, input: usize, is_pim: bool) -> bool {
+        self.xbar.can_inject(input, is_pim)
+    }
+
+    /// Injects a request whose credit the caller already checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input queue is full (check
+    /// [`RequestNet::can_inject`] first).
+    pub fn inject(&mut self, input: usize, req: Request, dest: usize) {
+        self.xbar
+            .try_inject(input, req, dest)
+            .expect("capacity checked");
+    }
+
+    /// Total flits buffered in the input queues.
+    pub fn occupancy(&self) -> usize {
+        self.xbar.total_occupancy()
+    }
+
+    /// Crossbar counters.
+    pub fn stats(&self) -> CrossbarStats {
+        self.xbar.stats()
+    }
+}
+
+impl Component for RequestNet {
+    type Ctx<'a> = &'a mut MemoryStage;
+
+    fn name(&self) -> &'static str {
+        "request-net"
+    }
+
+    /// One arbitration cycle: grants eject into the destination
+    /// partition's ingress port, with the port's credit as backpressure
+    /// (a refused lane keeps the flit queued for the next cycle).
+    fn step(&mut self, now: Cycle, memory: &mut MemoryStage) {
+        self.xbar.step(now, |out, vc, req| {
+            memory.partition_mut(out).try_accept(vc, *req)
+        });
+    }
+
+    fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
+        self.xbar.next_activity_cycle(now)
+    }
+}

@@ -1,0 +1,122 @@
+//! Budgeted run loops and end-of-run metric harvesting for
+//! [`Simulator`] — the half of its interface that drives a mounted
+//! workload to completion and folds per-channel stats into system totals.
+
+use pimsim_stats::Mergeable;
+
+use crate::partition::Partition;
+use crate::pipeline::CycleBudgetExceeded;
+use crate::system::Simulator;
+
+impl Simulator {
+    /// Runs until every mounted kernel has completed at least one run.
+    /// Returns the GPU cycles elapsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleBudgetExceeded`] if the budget runs out first.
+    pub fn run_until_all_first_done(
+        &mut self,
+        max_gpu_cycles: u64,
+    ) -> Result<u64, CycleBudgetExceeded> {
+        self.run_with_starvation_cutoff(max_gpu_cycles, None)
+    }
+
+    /// Like [`Simulator::run_until_all_first_done`], but additionally
+    /// declares starvation — and stops — once some kernel has completed
+    /// `cutoff_runs` full runs while another has not completed any. This
+    /// keeps denial-of-service cases (MEM-First, PIM-First, G&I) from
+    /// burning the entire cycle budget: a kernel that is still unfinished
+    /// after the co-runner looped that many times is starved for the
+    /// purposes of the fairness metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleBudgetExceeded`] on either the budget or the
+    /// starvation cutoff, with the per-kernel progress in the message.
+    pub fn run_with_starvation_cutoff(
+        &mut self,
+        max_gpu_cycles: u64,
+        cutoff_runs: Option<u64>,
+    ) -> Result<u64, CycleBudgetExceeded> {
+        while self.kernels.iter().any(|k| k.first_run_cycles.is_none()) {
+            let starved = cutoff_runs.is_some_and(|cut| {
+                self.kernels.iter().any(|k| k.runs >= cut)
+                    && self.kernels.iter().any(|k| k.first_run_cycles.is_none())
+            });
+            if self.clock.gpu_now() >= max_gpu_cycles || starved {
+                let progress = self
+                    .kernels
+                    .iter()
+                    .map(|k| {
+                        format!(
+                            "{}: runs={} first={:?}",
+                            k.model.name(),
+                            k.runs,
+                            k.first_run_cycles
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                return Err(CycleBudgetExceeded {
+                    max_gpu_cycles,
+                    progress,
+                });
+            }
+            if self.fast_forward && self.skip_idle_span(max_gpu_cycles) {
+                // Re-check the budget before stepping: a skip clamped to
+                // `max_gpu_cycles` must error exactly like lock-step would.
+                continue;
+            }
+            self.step();
+        }
+        Ok(self.clock.gpu_now())
+    }
+
+    /// Folds one per-partition stats bundle across all channels — the
+    /// single merge loop behind every `merged_*` accessor.
+    fn merged<T: Mergeable>(&self, per: impl Fn(&Partition) -> T) -> T {
+        let mut agg = T::default();
+        for p in self.memory.partitions() {
+            agg.merge_from(&per(p));
+        }
+        agg
+    }
+
+    /// Fills and writebacks are internal; MEM arrivals at the MC summed
+    /// over channels.
+    pub fn total_mem_arrivals(&self) -> u64 {
+        self.partitions()
+            .iter()
+            .map(|p| p.mc.stats().mem_arrivals)
+            .sum()
+    }
+
+    /// PIM arrivals at the MC summed over channels.
+    pub fn total_pim_arrivals(&self) -> u64 {
+        self.partitions()
+            .iter()
+            .map(|p| p.mc.stats().pim_arrivals)
+            .sum()
+    }
+
+    /// Merged DRAM command counters across channels (energy accounting).
+    pub fn merged_channel_stats(&self) -> pimsim_dram::ChannelStats {
+        self.merged(|p| p.mc.channel_stats())
+    }
+
+    /// Merged controller stats across channels.
+    pub fn merged_mc_stats(&self) -> pimsim_core::McStats {
+        self.merged(|p| p.mc.stats().clone())
+    }
+
+    /// Total DRAM energy over the run under `energy` coefficients.
+    pub fn total_energy(&self, energy: &pimsim_dram::EnergyConfig) -> pimsim_dram::EnergyBreakdown {
+        pimsim_dram::channel_energy(
+            energy,
+            &self.merged_channel_stats(),
+            self.clock.dram_now() * self.memory.channel_count() as u64,
+            self.cfg.dram.banks as u32,
+        )
+    }
+}

@@ -44,6 +44,21 @@ impl Runner {
         }
     }
 
+    /// Like [`Runner::new`], but resolves the policy through the registry
+    /// from a spec string such as `"fr-fcfs"` or
+    /// `"f3fs:mem-cap=64,pim-cap=16"` (see [`PolicyKind::parse_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the registry's error for unknown names, unknown parameter
+    /// keys, or out-of-range values.
+    pub fn from_spec(
+        system: SystemConfig,
+        spec: &str,
+    ) -> Result<Self, pimsim_core::policy::PolicyParseError> {
+        Ok(Self::new(system, PolicyKind::parse_spec(spec)?))
+    }
+
     fn simulator(&self) -> Simulator {
         let mut sim = Simulator::new(self.system.clone(), self.policy);
         sim.set_fast_forward(self.fast_forward);
@@ -267,7 +282,9 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pimsim_workloads::{gpu_kernel, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark};
+    use pimsim_workloads::{
+        gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark,
+    };
 
     fn small_cfg() -> SystemConfig {
         SystemConfig::default()
@@ -280,6 +297,19 @@ mod tests {
     }
 
     const SCALE: f64 = 0.02;
+
+    #[test]
+    fn from_spec_resolves_through_registry() {
+        let r = Runner::from_spec(small_cfg(), "f3fs:mem-cap=64,pim-cap=16").unwrap();
+        assert_eq!(
+            r.policy,
+            PolicyKind::F3fs {
+                mem_cap: 64,
+                pim_cap: 16
+            }
+        );
+        assert!(Runner::from_spec(small_cfg(), "warp-speed").is_err());
+    }
 
     #[test]
     fn standalone_gpu_kernel_completes() {
@@ -359,7 +389,11 @@ mod tests {
             .unwrap()
             .cycles;
         let pa = r
-            .standalone(Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, SCALE)), 0, true)
+            .standalone(
+                Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, SCALE)),
+                0,
+                true,
+            )
             .unwrap()
             .cycles;
         let s = out.speedup(ga, pa);

@@ -1,6 +1,7 @@
-//! The full-system simulator: SMs → request crossbar → memory partitions
-//! (L2 + MC + DRAM) → reply crossbar → SMs, with the GPU and DRAM clock
-//! domains of Table I.
+//! The full-system simulator: a thin scheduler sequencing the pipeline
+//! stages of [`crate::pipeline`] — SM issue → request crossbar → memory
+//! partitions (L2 + MC + DRAM) → reply crossbar → SM completion — across
+//! the GPU and DRAM clock domains of Table I.
 //!
 //! The main loop is event-driven where it can be: when every network
 //! queue and every partition is provably empty, the simulator jumps its
@@ -13,162 +14,15 @@
 
 use pimsim_dram::AddressMapper;
 use pimsim_gpu::KernelModel;
-use pimsim_noc::Crossbar;
-use pimsim_types::{
-    AppId, Cycle, Request, RequestId, RequestKind, SystemConfig, VcMode,
-};
+use pimsim_types::{Cycle, SystemConfig};
 
 use crate::partition::Partition;
+use crate::pipeline::{
+    check_kernel_completion, ClockCoupler, CompletionStage, Component, IssueCtx, IssueStage,
+    MemoryStage, ReplyNet, ReplyNetCtx, RequestNet,
+};
 
-/// Tag bit distinguishing simulator-internal request IDs (L2 fills and
-/// writebacks) from kernel request IDs held in the inflight table.
-const INTERNAL_ID_BIT: u64 = 1 << 63;
-
-/// One slot of the [`InflightTable`].
-#[derive(Debug, Clone, Copy)]
-struct InflightEntry {
-    /// Generation counter, bumped on every free so a recycled slot mints a
-    /// fresh 64-bit ID (concurrently inflight IDs stay unique, and the
-    /// completion heap's ID tie-break stays deterministic).
-    gen: u32,
-    /// `(kernel, slot)` owner while occupied.
-    owner: Option<(u32, u32)>,
-}
-
-/// Free-list slab mapping in-flight kernel [`RequestId`]s to their
-/// `(kernel, slot)` owners.
-///
-/// Replaces the seed's `HashMap<u64, (usize, usize)>`: lookups become a
-/// bounds-checked index (the ID's low 32 bits are the slab slot, the high
-/// bits its generation), inserts and removes are push/pop on a free list,
-/// and the table's footprint stays at the high-water mark of concurrently
-/// outstanding requests instead of rehashing on the hot path.
-#[derive(Debug, Default)]
-struct InflightTable {
-    entries: Vec<InflightEntry>,
-    free: Vec<u32>,
-    len: usize,
-}
-
-impl InflightTable {
-    /// Generations are 31-bit so a composed ID can never collide with
-    /// [`INTERNAL_ID_BIT`].
-    const GEN_MASK: u32 = 0x7fff_ffff;
-
-    fn compose(gen: u32, slot: u32) -> u64 {
-        (u64::from(gen & Self::GEN_MASK) << 32) | u64::from(slot)
-    }
-
-    /// The ID the next [`InflightTable::insert`] will return, with no
-    /// state change. Letting the kernel model see the ID before the issue
-    /// commits means a failed `try_issue` leaves the table — and the ID
-    /// sequence — completely untouched, which the fast-forward path
-    /// requires: an idle cycle must mutate nothing.
-    fn peek_id(&self) -> RequestId {
-        match self.free.last() {
-            Some(&slot) => RequestId(Self::compose(self.entries[slot as usize].gen, slot)),
-            None => RequestId(Self::compose(0, u32::try_from(self.entries.len()).expect("slab"))),
-        }
-    }
-
-    /// Claims the peeked slot for `(kernel, slot)` and returns its ID.
-    fn insert(&mut self, kernel: usize, slot: usize) -> RequestId {
-        let owner = Some((kernel as u32, slot as u32));
-        self.len += 1;
-        match self.free.pop() {
-            Some(idx) => {
-                let e = &mut self.entries[idx as usize];
-                debug_assert!(e.owner.is_none(), "free-list slot occupied");
-                e.owner = owner;
-                RequestId(Self::compose(e.gen, idx))
-            }
-            None => {
-                let idx = u32::try_from(self.entries.len()).expect("slab exceeds u32 slots");
-                self.entries.push(InflightEntry { gen: 0, owner });
-                RequestId(Self::compose(0, idx))
-            }
-        }
-    }
-
-    /// Releases `id` and returns its owner; `None` for internal IDs,
-    /// stale generations, and already-freed slots.
-    fn remove(&mut self, id: RequestId) -> Option<(usize, usize)> {
-        if id.0 & INTERNAL_ID_BIT != 0 {
-            return None;
-        }
-        let slot = (id.0 & 0xffff_ffff) as usize;
-        let e = self.entries.get_mut(slot)?;
-        if Self::compose(e.gen, slot as u32) != id.0 {
-            return None;
-        }
-        let (k, s) = e.owner.take()?;
-        e.gen = (e.gen + 1) & Self::GEN_MASK;
-        self.free.push(slot as u32);
-        self.len -= 1;
-        Some((k as usize, s as usize))
-    }
-
-    /// Number of live entries. O(1); the simulator uses this as the cheap
-    /// first gate of the idle-span check — any outstanding kernel request
-    /// means some component is busy, so the per-partition scan can be
-    /// skipped entirely.
-    fn len(&self) -> usize {
-        self.len
-    }
-}
-
-/// A kernel mounted on a set of SMs.
-pub struct MountedKernel {
-    /// The kernel model.
-    pub model: Box<dyn KernelModel>,
-    /// Global SM indices this kernel occupies (slot `i` = `sms[i]`).
-    pub sms: Vec<usize>,
-    /// Whether this kernel issues PIM requests.
-    pub is_pim: bool,
-    /// Restart the kernel when it completes (the paper's "run in a loop"
-    /// methodology).
-    pub restart: bool,
-    /// GPU cycle the current run started.
-    pub run_started: Cycle,
-    /// Execution time (GPU cycles) of the first completed run.
-    pub first_run_cycles: Option<u64>,
-    /// Completed runs.
-    pub runs: u64,
-    /// Requests injected into the interconnect by this kernel.
-    pub icnt_injections: u64,
-}
-
-impl std::fmt::Debug for MountedKernel {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MountedKernel")
-            .field("name", &self.model.name())
-            .field("sms", &self.sms.len())
-            .field("is_pim", &self.is_pim)
-            .field("runs", &self.runs)
-            .finish()
-    }
-}
-
-/// Error returned when a simulation exceeds its cycle budget.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CycleBudgetExceeded {
-    /// The budget that was exhausted.
-    pub max_gpu_cycles: u64,
-    /// Human-readable progress description.
-    pub progress: String,
-}
-
-impl std::fmt::Display for CycleBudgetExceeded {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "simulation exceeded {} GPU cycles ({})",
-            self.max_gpu_cycles, self.progress
-        )
-    }
-}
-
-impl std::error::Error for CycleBudgetExceeded {}
+pub use crate::pipeline::{CycleBudgetExceeded, MountedKernel};
 
 /// The full-system simulator.
 ///
@@ -188,36 +42,18 @@ impl std::error::Error for CycleBudgetExceeded {}
 /// assert!(cycles > 0);
 /// ```
 pub struct Simulator {
-    cfg: SystemConfig,
+    pub(crate) cfg: SystemConfig,
     mapper: AddressMapper,
-    req_xbar: Crossbar,
-    reply_xbar: Crossbar,
-    partitions: Vec<Partition>,
-    kernels: Vec<MountedKernel>,
-    /// Global SM index -> (kernel index, slot index).
-    sm_map: Vec<Option<(usize, usize)>>,
-    /// Outstanding requests per global SM (MEM kernels' throttle).
-    sm_outstanding: Vec<usize>,
-    /// RequestId -> (kernel, slot) for completion routing.
-    inflight: InflightTable,
-    gpu_cycle: Cycle,
-    dram_cycle: Cycle,
-    /// Integer clock-coupling accumulator: holds `gpu_cycles * clock_num
-    /// mod clock_den`; a DRAM cycle fires on every `clock_den` carry.
-    dram_acc: u64,
-    /// DRAM:GPU clock ratio as an exact rational (see
-    /// [`SystemConfig::dram_clock_ratio`]).
-    clock_num: u64,
-    clock_den: u64,
-    /// Monotonic counter for simulator-internal IDs (L2 fills and
-    /// writebacks), tagged with [`INTERNAL_ID_BIT`].
-    next_internal_id: u64,
+    issue: IssueStage,
+    request_net: RequestNet,
+    pub(crate) memory: MemoryStage,
+    reply_net: ReplyNet,
+    completion: CompletionStage,
+    pub(crate) clock: ClockCoupler,
+    pub(crate) kernels: Vec<MountedKernel>,
     /// Event-driven idle-span skipping (on by default; see
     /// [`Simulator::set_fast_forward`]).
-    fast_forward: bool,
-    /// Reusable per-cycle buffers (PIM acks, delivered replies).
-    ack_scratch: Vec<Request>,
-    reply_scratch: Vec<Request>,
+    pub(crate) fast_forward: bool,
     /// Number of idle-span jumps taken.
     skips: u64,
     /// GPU cycles covered by those jumps (not stepped one by one).
@@ -232,31 +68,17 @@ impl Simulator {
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: SystemConfig, policy: pimsim_core::PolicyKind) -> Self {
         cfg.validate().expect("invalid system configuration");
-        let channels = cfg.dram.channels;
-        let sms = cfg.gpu.num_sms;
         let mapper = AddressMapper::new(&cfg.addr_map, &cfg.dram, cfg.dram_word_bytes());
-        let partitions = (0..channels)
-            .map(|c| Partition::new(c, &cfg, policy.build()))
-            .collect();
         let (clock_num, clock_den) = cfg.dram_clock_ratio();
         Simulator {
-            req_xbar: Crossbar::new(sms, channels, cfg.noc.input_queue_entries, cfg.noc.vc_mode)
-                .with_iterations(cfg.noc.islip_iterations),
-            reply_xbar: Crossbar::new(channels, sms, cfg.noc.reply_queue_entries, VcMode::Shared),
-            partitions,
+            issue: IssueStage::new(cfg.gpu.num_sms, cfg.gpu.max_outstanding_mem_per_sm),
+            request_net: RequestNet::new(&cfg),
+            memory: MemoryStage::new(&cfg, policy),
+            reply_net: ReplyNet::new(&cfg),
+            completion: CompletionStage::new(),
+            clock: ClockCoupler::new(clock_num, clock_den),
             kernels: Vec::new(),
-            sm_map: vec![None; sms],
-            sm_outstanding: vec![0; sms],
-            inflight: InflightTable::default(),
-            gpu_cycle: 0,
-            dram_cycle: 0,
-            dram_acc: 0,
-            clock_num,
-            clock_den,
-            next_internal_id: 0,
             fast_forward: true,
-            ack_scratch: Vec::new(),
-            reply_scratch: Vec::new(),
             skips: 0,
             skipped_cycles: 0,
             mapper,
@@ -303,16 +125,14 @@ impl Simulator {
         );
         let idx = self.kernels.len();
         for (slot, &sm) in sms.iter().enumerate() {
-            assert!(sm < self.sm_map.len(), "SM index out of range");
-            assert!(self.sm_map[sm].is_none(), "SM {sm} already occupied");
-            self.sm_map[sm] = Some((idx, slot));
+            self.issue.occupy(sm, idx, slot);
         }
         self.kernels.push(MountedKernel {
             model,
             sms,
             is_pim,
             restart,
-            run_started: self.gpu_cycle,
+            run_started: self.clock.gpu_now(),
             first_run_cycles: None,
             runs: 0,
             icnt_injections: 0,
@@ -327,17 +147,17 @@ impl Simulator {
 
     /// The memory partitions (for stats).
     pub fn partitions(&self) -> &[Partition] {
-        &self.partitions
+        self.memory.partitions()
     }
 
     /// GPU cycles elapsed.
     pub fn gpu_cycles(&self) -> u64 {
-        self.gpu_cycle
+        self.clock.gpu_now()
     }
 
     /// DRAM cycles elapsed.
     pub fn dram_cycles(&self) -> u64 {
-        self.dram_cycle
+        self.clock.dram_now()
     }
 
     /// The system configuration.
@@ -347,124 +167,87 @@ impl Simulator {
 
     /// Total flits buffered in the request network's input queues.
     pub fn request_noc_occupancy(&self) -> usize {
-        self.req_xbar.total_occupancy()
+        self.request_net.occupancy()
     }
 
     /// Request-network counters.
     pub fn request_noc_stats(&self) -> pimsim_noc::CrossbarStats {
-        self.req_xbar.stats()
+        self.request_net.stats()
     }
 
-    /// Mints a simulator-internal ID (L2 fills and writebacks). These IDs
-    /// live outside the inflight table — [`INTERNAL_ID_BIT`] keeps the two
-    /// namespaces disjoint — and are only minted while traffic is in
-    /// flight, so the sequence is identical with fast-forward on or off.
-    fn alloc_internal_id(next: &mut u64) -> RequestId {
-        let id = RequestId(INTERNAL_ID_BIT | *next);
-        *next += 1;
-        id
-    }
-
-    /// One GPU cycle of the whole system.
+    /// One GPU cycle of the whole system. The stage order is fixed:
+    /// issue → request net → L2 → DRAM ticks → PIM acks → reply net →
+    /// reply completions → kernel bookkeeping.
     pub fn step(&mut self) {
-        let now = self.gpu_cycle;
+        let now = self.clock.gpu_now();
 
         // 1. SM issue stage.
-        self.issue_from_sms(now);
+        self.issue.step(
+            now,
+            IssueCtx {
+                kernels: &mut self.kernels,
+                net: &mut self.request_net,
+                inflight: self.completion.inflight_mut(),
+                mapper: &self.mapper,
+            },
+        );
 
-        // 2. Request network.
-        let (req_xbar, partitions) = (&mut self.req_xbar, &mut self.partitions);
-        req_xbar.step(now, |out, vc, req| {
-            if partitions[out].can_eject(vc) {
-                partitions[out].eject(vc, *req);
-                true
-            } else {
-                false
-            }
-        });
+        // 2. Request network ejects into partition ingress ports.
+        self.request_net.step(now, &mut self.memory);
 
-        // 3. L2 stage per partition.
-        let next_internal = &mut self.next_internal_id;
-        for p in self.partitions.iter_mut() {
-            let mut alloc = || Self::alloc_internal_id(next_internal);
-            p.step_l2(now, &mut alloc);
-        }
+        // 3. L2 stage per partition (GPU clock).
+        self.memory.step_l2_all(now);
 
         // 4. DRAM clock domain (exact integer rational coupling).
-        self.dram_acc += self.clock_num;
-        while self.dram_acc >= self.clock_den {
-            self.dram_acc -= self.clock_den;
-            let dram_now = self.dram_cycle;
-            for p in self.partitions.iter_mut() {
-                p.step_dram(dram_now, &self.mapper);
-            }
-            self.dram_cycle += 1;
+        self.clock.accrue_gpu_cycle();
+        while let Some(dram_now) = self.clock.take_dram_tick() {
+            self.memory.step_dram_all(dram_now, &self.mapper);
         }
 
         // 5. PIM acks (credit return, out-of-band).
-        let mut acks = std::mem::take(&mut self.ack_scratch);
-        for p in self.partitions.iter_mut() {
-            p.drain_pim_acks_into(&mut acks);
-        }
-        for ack in &acks {
-            self.complete_request(ack, now);
-        }
-        acks.clear();
-        self.ack_scratch = acks;
+        self.completion
+            .collect_acks(&mut self.memory, &mut self.kernels, &mut self.issue, now);
 
         // 6. Reply network: inject from partitions, deliver to SMs.
-        for c in 0..self.partitions.len() {
-            while let Some(rep) = self.partitions[c].peek_reply() {
-                let dest = rep.src_port as usize;
-                if self.reply_xbar.can_inject(c, false) {
-                    let rep = self.partitions[c].pop_reply().expect("peeked");
-                    self.reply_xbar
-                        .try_inject(c, rep, dest)
-                        .expect("capacity checked");
-                } else {
-                    break;
-                }
-            }
-        }
-        let mut delivered = std::mem::take(&mut self.reply_scratch);
-        self.reply_xbar.step(now, |_sm, _vc, req| {
-            delivered.push(*req);
-            true
-        });
-        for rep in &delivered {
-            self.complete_request(rep, now);
-        }
-        delivered.clear();
-        self.reply_scratch = delivered;
+        let mut delivered = self.completion.begin_replies();
+        self.reply_net.step(
+            now,
+            ReplyNetCtx {
+                memory: &mut self.memory,
+                delivered: &mut delivered,
+            },
+        );
+        self.completion
+            .finish_replies(delivered, &mut self.kernels, &mut self.issue, now);
 
         // 7. Kernel completion / restart bookkeeping.
-        self.check_kernel_completion(now);
+        check_kernel_completion(&mut self.kernels, now);
 
-        self.gpu_cycle += 1;
+        self.clock.finish_gpu_cycle();
     }
 
     /// Attempts to jump the clocks over a provably idle span, stopping at
     /// `limit`. Returns whether any cycles were skipped.
     ///
-    /// Soundness: the jump is taken only when both crossbars and every
-    /// partition report no activity, i.e. no request, reply, fill,
+    /// Soundness: the jump is taken only when both network stages and
+    /// every partition report no activity, i.e. no request, reply, fill,
     /// writeback, or DRAM command exists anywhere in the system. In that
     /// state a lock-step [`Simulator::step`] provably mutates nothing but
     /// the cycle counters — issue finds no ready kernel (by the
     /// [`KernelModel::next_activity_cycle`] contract), the crossbars add
     /// zero to their occupancy integrals without touching arbiter state,
-    /// `step_l2` finds empty queues, and `step_dram` early-returns before
-    /// ticking the channel. The only future event is kernel issue pacing,
-    /// so the earliest activity hook across kernels bounds the skip, and
-    /// the integer clock arithmetic advances `dram_cycle`/`dram_acc` to
-    /// exactly the values per-cycle stepping would produce.
+    /// the L2 stages find empty ports, and the DRAM stages early-return
+    /// before ticking the channel. The only future event is kernel issue
+    /// pacing, so the earliest activity hook across kernels bounds the
+    /// skip, and [`ClockCoupler::jump_to`] advances the clocks to exactly
+    /// the values per-cycle stepping would produce.
     ///
     /// Note "no activity" really is required, not just "idle this cycle":
     /// overshooting into a cycle where the controller is stepped would
     /// desynchronize the `McStats` cycle/occupancy/BLP integrals, which
     /// advance on every stepped controller cycle.
-    fn skip_idle_span(&mut self, limit: Cycle) -> bool {
-        let now = self.gpu_cycle;
+    pub(crate) fn skip_idle_span(&mut self, limit: Cycle) -> bool {
+        let now = self.clock.gpu_now();
         if now >= limit {
             return false;
         }
@@ -472,19 +255,18 @@ impl Simulator {
         // crossbar injection until its reply (or ack) is delivered, so a
         // nonempty table proves some component is busy without scanning
         // any of them.
-        if self.inflight.len() > 0 {
+        if !self.completion.inflight().is_empty() {
             return false;
         }
-        if self.req_xbar.next_activity_cycle(now).is_some()
-            || self.reply_xbar.next_activity_cycle(now).is_some()
+        if self.request_net.next_activity_cycle(now).is_some()
+            || self.reply_net.next_activity_cycle(now).is_some()
         {
             return false;
         }
-        let dram_now = self.dram_cycle;
         if self
-            .partitions
-            .iter()
-            .any(|p| p.next_activity_cycle(dram_now).is_some())
+            .memory
+            .next_activity_cycle(self.clock.dram_now())
+            .is_some()
         {
             return false;
         }
@@ -504,275 +286,9 @@ impl Simulator {
         if target <= now {
             return false;
         }
-        // Advance both clock domains exactly as `target - now` idle steps
-        // would: steps = (acc + span*num) div den, acc' = same mod den.
-        let span = target - now;
-        let total = self.dram_acc + span * self.clock_num;
-        self.dram_cycle += total / self.clock_den;
-        self.dram_acc = total % self.clock_den;
-        self.gpu_cycle = target;
         self.skips += 1;
-        self.skipped_cycles += span;
+        self.skipped_cycles += target - now;
+        self.clock.jump_to(target);
         true
-    }
-
-    fn issue_from_sms(&mut self, now: Cycle) {
-        for sm in 0..self.sm_map.len() {
-            let Some((k, slot)) = self.sm_map[sm] else {
-                continue;
-            };
-            let kernel = &mut self.kernels[k];
-            let is_pim = kernel.is_pim;
-            // MEM kernels are throttled by the SM's outstanding cap; PIM
-            // kernels self-throttle per warp (store-buffer credits).
-            if !is_pim && self.sm_outstanding[sm] >= self.cfg.gpu.max_outstanding_mem_per_sm {
-                continue;
-            }
-            if !self.req_xbar.can_inject(sm, is_pim) {
-                continue;
-            }
-            // Peek-then-commit: the ID is only consumed from the table if
-            // the kernel actually issues, so idle probes leave the
-            // allocator untouched (required for fast-forward bit-equality:
-            // skipped cycles must not have burned IDs).
-            let id = self.inflight.peek_id();
-            let Some(issued) = kernel.model.try_issue(slot, now, id) else {
-                continue;
-            };
-            debug_assert_eq!(issued.kind.is_pim(), is_pim);
-            let req = Request::new(
-                id,
-                if is_pim { AppId::PIM } else { AppId::GPU },
-                issued.kind,
-                issued.addr,
-                sm as u16,
-                now,
-            );
-            let dest = match issued.kind {
-                RequestKind::Pim(cmd) => cmd.channel as usize,
-                _ => self.mapper.decode(issued.addr).channel as usize,
-            };
-            self.req_xbar
-                .try_inject(sm, req, dest)
-                .expect("capacity checked");
-            kernel.icnt_injections += 1;
-            let committed = self.inflight.insert(k, slot);
-            debug_assert_eq!(committed, id);
-            if !is_pim {
-                self.sm_outstanding[sm] += 1;
-            }
-        }
-    }
-
-    fn complete_request(&mut self, req: &Request, now: Cycle) {
-        let Some((k, slot)) = self.inflight.remove(req.id) else {
-            // Fills and writebacks are simulator-internal: not in the table.
-            return;
-        };
-        let kernel = &mut self.kernels[k];
-        kernel.model.on_complete(slot, req.id, now);
-        if !kernel.is_pim {
-            let sm = kernel.sms[slot];
-            debug_assert!(self.sm_outstanding[sm] > 0);
-            self.sm_outstanding[sm] -= 1;
-        }
-    }
-
-    fn check_kernel_completion(&mut self, now: Cycle) {
-        for kernel in &mut self.kernels {
-            if !kernel.model.is_done() {
-                continue;
-            }
-            if kernel.restart {
-                let elapsed = now + 1 - kernel.run_started;
-                if kernel.first_run_cycles.is_none() {
-                    kernel.first_run_cycles = Some(elapsed);
-                }
-                kernel.runs += 1;
-                kernel.model.reset();
-                kernel.run_started = now + 1;
-            } else if kernel.first_run_cycles.is_none() {
-                kernel.first_run_cycles = Some(now + 1 - kernel.run_started);
-                kernel.runs = 1;
-            }
-        }
-    }
-
-    /// Runs until every mounted kernel has completed at least one run.
-    /// Returns the GPU cycles elapsed.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CycleBudgetExceeded`] if the budget runs out first.
-    pub fn run_until_all_first_done(
-        &mut self,
-        max_gpu_cycles: u64,
-    ) -> Result<u64, CycleBudgetExceeded> {
-        self.run_with_starvation_cutoff(max_gpu_cycles, None)
-    }
-
-    /// Like [`Simulator::run_until_all_first_done`], but additionally
-    /// declares starvation — and stops — once some kernel has completed
-    /// `cutoff_runs` full runs while another has not completed any. This
-    /// keeps denial-of-service cases (MEM-First, PIM-First, G&I) from
-    /// burning the entire cycle budget: a kernel that is still unfinished
-    /// after the co-runner looped that many times is starved for the
-    /// purposes of the fairness metrics.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CycleBudgetExceeded`] on either the budget or the
-    /// starvation cutoff, with the per-kernel progress in the message.
-    pub fn run_with_starvation_cutoff(
-        &mut self,
-        max_gpu_cycles: u64,
-        cutoff_runs: Option<u64>,
-    ) -> Result<u64, CycleBudgetExceeded> {
-        while self.kernels.iter().any(|k| k.first_run_cycles.is_none()) {
-            let starved = cutoff_runs.is_some_and(|cut| {
-                self.kernels.iter().any(|k| k.runs >= cut)
-                    && self.kernels.iter().any(|k| k.first_run_cycles.is_none())
-            });
-            if self.gpu_cycle >= max_gpu_cycles || starved {
-                let progress = self
-                    .kernels
-                    .iter()
-                    .map(|k| {
-                        format!(
-                            "{}: runs={} first={:?}",
-                            k.model.name(),
-                            k.runs,
-                            k.first_run_cycles
-                        )
-                    })
-                    .collect::<Vec<_>>()
-                    .join(", ");
-                return Err(CycleBudgetExceeded {
-                    max_gpu_cycles,
-                    progress,
-                });
-            }
-            if self.fast_forward && self.skip_idle_span(max_gpu_cycles) {
-                // Re-check the budget before stepping: a skip clamped to
-                // `max_gpu_cycles` must error exactly like lock-step would.
-                continue;
-            }
-            self.step();
-        }
-        Ok(self.gpu_cycle)
-    }
-
-    /// Fills and writebacks are internal; MEM arrivals at the MC summed
-    /// over channels.
-    pub fn total_mem_arrivals(&self) -> u64 {
-        self.partitions
-            .iter()
-            .map(|p| p.mc.stats().mem_arrivals)
-            .sum()
-    }
-
-    /// PIM arrivals at the MC summed over channels.
-    pub fn total_pim_arrivals(&self) -> u64 {
-        self.partitions
-            .iter()
-            .map(|p| p.mc.stats().pim_arrivals)
-            .sum()
-    }
-
-    /// Merged DRAM command counters across channels (energy accounting).
-    pub fn merged_channel_stats(&self) -> pimsim_dram::ChannelStats {
-        let mut agg = pimsim_dram::ChannelStats::default();
-        for p in &self.partitions {
-            let s = p.mc.channel_stats();
-            agg.refreshes += s.refreshes;
-            agg.acts += s.acts;
-            agg.pres += s.pres;
-            agg.reads += s.reads;
-            agg.writes += s.writes;
-            agg.pim_ops += s.pim_ops;
-            agg.pim_blocks += s.pim_blocks;
-        }
-        agg
-    }
-
-    /// Total DRAM energy over the run under `energy` coefficients.
-    pub fn total_energy(&self, energy: &pimsim_dram::EnergyConfig) -> pimsim_dram::EnergyBreakdown {
-        pimsim_dram::channel_energy(
-            energy,
-            &self.merged_channel_stats(),
-            self.dram_cycle * self.partitions.len() as u64,
-            self.cfg.dram.banks as u32,
-        )
-    }
-
-    /// Merged controller stats across channels.
-    pub fn merged_mc_stats(&self) -> pimsim_core::McStats {
-        let mut agg = pimsim_core::McStats::default();
-        for p in &self.partitions {
-            agg.merge(p.mc.stats());
-        }
-        agg
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn inflight_peek_matches_insert_and_is_pure() {
-        let mut t = InflightTable::default();
-        let peeked = t.peek_id();
-        assert_eq!(t.peek_id(), peeked, "peek must be side-effect-free");
-        assert_eq!(t.len(), 0);
-        let id = t.insert(3, 7);
-        assert_eq!(id, peeked);
-        assert_eq!(t.len(), 1);
-        assert_eq!(t.remove(id), Some((3, 7)));
-        assert_eq!(t.len(), 0);
-    }
-
-    #[test]
-    fn inflight_recycled_slot_gets_fresh_generation() {
-        let mut t = InflightTable::default();
-        let a = t.insert(0, 0);
-        assert_eq!(t.remove(a), Some((0, 0)));
-        let b = t.insert(1, 2);
-        assert_ne!(a, b, "recycled slot must mint a distinct ID");
-        // The stale ID no longer resolves.
-        assert_eq!(t.remove(a), None);
-        assert_eq!(t.remove(b), Some((1, 2)));
-    }
-
-    #[test]
-    fn inflight_rejects_internal_and_unknown_ids() {
-        let mut t = InflightTable::default();
-        let id = t.insert(0, 0);
-        assert_eq!(t.remove(RequestId(INTERNAL_ID_BIT | id.0)), None);
-        assert_eq!(t.remove(RequestId(id.0 + (1 << 32))), None, "wrong gen");
-        assert_eq!(t.remove(RequestId(999)), None, "slot never allocated");
-        assert_eq!(t.len(), 1);
-        assert_eq!(t.remove(id), Some((0, 0)));
-        assert_eq!(t.remove(id), None, "double free");
-    }
-
-    #[test]
-    fn inflight_many_slots_stay_unique_while_outstanding() {
-        let mut t = InflightTable::default();
-        let ids: Vec<RequestId> = (0..64).map(|i| t.insert(i, i)).collect();
-        let mut sorted: Vec<u64> = ids.iter().map(|id| id.0).collect();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), 64);
-        assert_eq!(t.len(), 64);
-        // Free half, reinsert, and confirm no live ID is ever duplicated.
-        for id in &ids[..32] {
-            t.remove(*id).unwrap();
-        }
-        let fresh: Vec<RequestId> = (0..32).map(|i| t.insert(100 + i, 0)).collect();
-        for f in &fresh {
-            assert!(!ids.contains(f), "generation bump must prevent reuse");
-        }
-        assert_eq!(t.len(), 64);
     }
 }

@@ -31,6 +31,35 @@ pub use histogram::Histogram;
 
 use serde::{Deserialize, Serialize};
 
+/// A stats bundle that can absorb another instance of itself.
+///
+/// Implemented by per-channel counter structs (`McStats`, `ChannelStats`)
+/// so cross-channel aggregation is one generic fold instead of a bespoke
+/// merge loop per stats type.
+///
+/// # Example
+///
+/// ```
+/// use pimsim_stats::Mergeable;
+///
+/// #[derive(Default)]
+/// struct Hits(u64);
+/// impl Mergeable for Hits {
+///     fn merge_from(&mut self, other: &Self) {
+///         self.0 += other.0;
+///     }
+/// }
+/// let mut agg = Hits::default();
+/// for h in [Hits(1), Hits(2)] {
+///     agg.merge_from(&h);
+/// }
+/// assert_eq!(agg.0, 3);
+/// ```
+pub trait Mergeable: Default {
+    /// Adds `other`'s counters into `self`.
+    fn merge_from(&mut self, other: &Self);
+}
+
 /// Online count/sum/min/max accumulator for a stream of observations.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Running {

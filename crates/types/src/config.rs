@@ -382,12 +382,14 @@ impl SystemConfig {
         if self.dram.bank_groups == 0 || !self.dram.banks.is_multiple_of(self.dram.bank_groups) {
             return err("dram.banks must be divisible by dram.bank_groups");
         }
-        if !self.dram.rows_per_bank.is_power_of_two() || !self.dram.cols_per_row.is_power_of_two()
-        {
+        if !self.dram.rows_per_bank.is_power_of_two() || !self.dram.cols_per_row.is_power_of_two() {
             return err("rows_per_bank and cols_per_row must be powers of two");
         }
         if self.dram.pim_fus_per_channel == 0
-            || !self.dram.banks.is_multiple_of(self.dram.pim_fus_per_channel)
+            || !self
+                .dram
+                .banks
+                .is_multiple_of(self.dram.pim_fus_per_channel)
         {
             return err("dram.banks must be divisible by dram.pim_fus_per_channel");
         }

@@ -11,8 +11,8 @@
 //! traffic** — so naive policies let MHA's PIM stream throttle the GEMMs
 //! that the end-to-end latency actually depends on.
 
-use pimsim_gpu::{GpuKernelParams, PimKernelSpec, PimPhase, SyntheticGpuKernel};
 use pimsim_gpu::PimKernelModel;
+use pimsim_gpu::{GpuKernelParams, PimKernelSpec, PimPhase, SyntheticGpuKernel};
 
 /// The two halves of the collaborative scenario.
 #[derive(Debug, Clone)]

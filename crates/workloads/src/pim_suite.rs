@@ -66,15 +66,21 @@ pub fn pim_kernel_spec(bench: PimBenchmark, channels: usize, scale: f64) -> PimK
     // PIM locality of Figure 4d (Stream Scale: 99.6%).
     let (pattern, ops_per_block, base_blocks): (Vec<PimPhase>, u32, u64) = match bench.0 {
         // STREAM kernels: one op per element, long regular blocks.
-        1 => (vec![Load, Compute, Store], 24, 120),          // add: c = a + b
-        2 => (vec![Load, Store], 16, 210),                   // copy: c = a
+        1 => (vec![Load, Compute, Store], 24, 120), // add: c = a + b
+        2 => (vec![Load, Store], 16, 210),          // copy: c = a
         3 => (vec![Load, Compute, Compute, Store], 32, 120), // daxpy: c = a*x + y
-        4 => (vec![Load, Store], 64, 120),                   // scale: row-long blocks
+        4 => (vec![Load, Store], 64, 120),          // scale: row-long blocks
         // Batch norm: a few computes per element.
         5 => (vec![Load, Compute, Compute, Store], 32, 70),
         6 => (vec![Load, Compute, Compute, Compute, Store], 32, 60),
         // Fully connected: compute-dominated GEMV accumulation.
-        7 => (vec![Load, Compute, Compute, Compute, Compute, Compute, Compute, Store], 64, 30),
+        7 => (
+            vec![
+                Load, Compute, Compute, Compute, Compute, Compute, Compute, Store,
+            ],
+            64,
+            30,
+        ),
         // KMeans: distance computes, occasional assignment store.
         8 => (vec![Load, Compute, Compute, Compute, Store], 40, 50),
         // GRIM: bitvector filtering, wide computes.

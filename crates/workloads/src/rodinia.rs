@@ -80,26 +80,26 @@ pub fn gpu_kernel_params(bench: GpuBenchmark, scale: f64) -> GpuKernelParams {
     // an 8-SM PIM kernel rival an 80-SM GPU kernel's interconnect arrival
     // rate (Figure 4a: PIM is only 17.8% below GPU-80 on average).
     let (reqs, interval, read, foot_mib, row, l2, streams) = match bench.0 {
-        1 => (30_000, 10, 0.90, 16, 0.30, 0.50, 4),  // b+tree: pointer chasing
-        2 => (40_000, 8, 0.60, 24, 0.85, 0.30, 4),   // backprop: streaming
-        3 => (35_000, 8, 0.85, 32, 0.20, 0.40, 8),   // bfs: irregular
-        4 => (60_000, 2, 0.75, 24, 0.70, 0.60, 8),   // cfd: peak icnt rate
-        5 => (30_000, 10, 0.65, 16, 0.80, 0.50, 4),  // dwt2d
-        6 => (45_000, 5, 0.70, 48, 0.22, 0.30, 16),  // gaussian: peak BLP, poor RBHR
-        7 => (15_000, 30, 0.80, 8, 0.60, 0.60, 2),   // heartwall: compute-heavy
-        8 => (25_000, 15, 0.65, 16, 0.80, 0.70, 4),  // hotspot
-        9 => (35_000, 10, 0.70, 24, 0.70, 0.50, 6),  // hotspot3D
-        10 => (8_000, 100, 0.80, 4, 0.50, 0.50, 2),  // huffman: compute-intensive
-        11 => (55_000, 5, 0.85, 48, 0.60, 0.15, 8),  // kmeans: heavy DRAM traffic
-        12 => (12_000, 40, 0.75, 8, 0.60, 0.70, 2),  // lavaMD: compute-heavy
+        1 => (30_000, 10, 0.90, 16, 0.30, 0.50, 4), // b+tree: pointer chasing
+        2 => (40_000, 8, 0.60, 24, 0.85, 0.30, 4),  // backprop: streaming
+        3 => (35_000, 8, 0.85, 32, 0.20, 0.40, 8),  // bfs: irregular
+        4 => (60_000, 2, 0.75, 24, 0.70, 0.60, 8),  // cfd: peak icnt rate
+        5 => (30_000, 10, 0.65, 16, 0.80, 0.50, 4), // dwt2d
+        6 => (45_000, 5, 0.70, 48, 0.22, 0.30, 16), // gaussian: peak BLP, poor RBHR
+        7 => (15_000, 30, 0.80, 8, 0.60, 0.60, 2),  // heartwall: compute-heavy
+        8 => (25_000, 15, 0.65, 16, 0.80, 0.70, 4), // hotspot
+        9 => (35_000, 10, 0.70, 24, 0.70, 0.50, 6), // hotspot3D
+        10 => (8_000, 100, 0.80, 4, 0.50, 0.50, 2), // huffman: compute-intensive
+        11 => (55_000, 5, 0.85, 48, 0.60, 0.15, 8), // kmeans: heavy DRAM traffic
+        12 => (12_000, 40, 0.75, 8, 0.60, 0.70, 2), // lavaMD: compute-heavy
         13 => (25_000, 15, 0.70, 16, 0.70, 0.60, 4), // lud
         14 => (35_000, 10, 0.90, 32, 0.30, 0.35, 6), // mummergpu: irregular
-        15 => (60_000, 3, 0.95, 64, 0.80, 0.02, 8),  // nn: peak DRAM rate, no reuse
+        15 => (60_000, 3, 0.95, 64, 0.80, 0.02, 8), // nn: peak DRAM rate, no reuse
         16 => (25_000, 12, 0.65, 16, 0.60, 0.50, 4), // nw
-        17 => (50_000, 5, 0.75, 24, 0.97, 0.30, 2),  // pathfinder: peak RBHR
+        17 => (50_000, 5, 0.75, 24, 0.97, 0.30, 2), // pathfinder: peak RBHR
         18 => (30_000, 10, 0.70, 16, 0.80, 0.50, 4), // srad_v1
-        19 => (60_000, 3, 0.65, 32, 0.85, 0.75, 4),  // srad_v2: icnt-heavy, L2-filtered
-        20 => (35_000, 8, 0.80, 24, 0.75, 0.40, 4),  // streamcluster
+        19 => (60_000, 3, 0.65, 32, 0.85, 0.75, 4), // srad_v2: icnt-heavy, L2-filtered
+        20 => (35_000, 8, 0.80, 24, 0.75, 0.40, 4), // streamcluster
         _ => panic!("GpuBenchmark index out of range: {}", bench.0),
     };
     GpuKernelParams {

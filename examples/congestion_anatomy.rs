@@ -52,7 +52,10 @@ fn main() {
             true,
         );
         println!("\n=== {vc} under MEM-First: queue occupancies over time ===");
-        println!("{:>7} {:>8} {:>9} {:>8} {:>7} {:>7}", "cycle", "NoC", "icnt->L2", "L2->DRAM", "MEM-Q", "PIM-Q");
+        println!(
+            "{:>7} {:>8} {:>9} {:>8} {:>7} {:>7}",
+            "cycle", "NoC", "icnt->L2", "L2->DRAM", "MEM-Q", "PIM-Q"
+        );
         for step in 0..20 {
             for _ in 0..250 {
                 sim.step();

@@ -8,9 +8,9 @@
 //! ```
 
 use pim_coscheduling::dram::EnergyConfig;
+use pim_coscheduling::gpu::{GpuKernelParams, KernelModel, SyntheticGpuKernel};
 use pim_coscheduling::prelude::*;
 use pim_coscheduling::sim::Simulator;
-use pim_coscheduling::gpu::{GpuKernelParams, KernelModel, SyntheticGpuKernel};
 use pim_coscheduling::workloads::pim_kernel;
 
 fn main() {

@@ -29,7 +29,10 @@ fn main() {
         .cycles;
     let ideal = CollabOutcome::ideal_speedup(qkv_alone, mha_alone);
     println!("QKV alone: {qkv_alone} cycles, MHA alone: {mha_alone} cycles");
-    println!("sequential: {} cycles, ideal overlap speedup: {ideal:.3}\n", qkv_alone + mha_alone);
+    println!(
+        "sequential: {} cycles, ideal overlap speedup: {ideal:.3}\n",
+        qkv_alone + mha_alone
+    );
 
     let mut t = Table::new(vec![
         "policy".into(),
@@ -42,8 +45,20 @@ fn main() {
     let candidates: Vec<(PolicyKind, &str)> = vec![
         (PolicyKind::FrFcfs, "-"),
         (PolicyKind::GatherIssue { high: 56, low: 32 }, "-"),
-        (PolicyKind::F3fs { mem_cap: 32, pim_cap: 16 }, "32/16"),
-        (PolicyKind::F3fs { mem_cap: 8, pim_cap: 8 }, "8/8"),
+        (
+            PolicyKind::F3fs {
+                mem_cap: 32,
+                pim_cap: 16,
+            },
+            "32/16",
+        ),
+        (
+            PolicyKind::F3fs {
+                mem_cap: 8,
+                pim_cap: 8,
+            },
+            "8/8",
+        ),
     ];
     for vc in [VcMode::Shared, VcMode::SplitPim] {
         for &(policy, caps) in &candidates {

@@ -38,13 +38,7 @@ fn main() {
         "throughput".into(),
     ]);
     // From strongly PIM-prioritized to strongly GPU-prioritized.
-    for (mem_cap, pim_cap) in [
-        (8u32, 128u32),
-        (16, 64),
-        (32, 32),
-        (64, 16),
-        (128, 8),
-    ] {
+    for (mem_cap, pim_cap) in [(8u32, 128u32), (16, 64), (32, 32), (64, 16), (128, 8)] {
         let mut runner = Runner::new(
             SystemConfig::default(),
             PolicyKind::F3fs { mem_cap, pim_cap },

@@ -23,7 +23,11 @@ fn main() {
         .expect("GPU standalone run")
         .cycles;
     let pim_alone = runner
-        .standalone(Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, scale)), 0, true)
+        .standalone(
+            Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, scale)),
+            0,
+            true,
+        )
         .expect("PIM standalone run")
         .cycles;
     println!("standalone: G4 (cfd) = {gpu_alone} cycles, P1 (Stream Add) = {pim_alone} cycles");
@@ -38,9 +42,7 @@ fn main() {
     let m = out.metrics(gpu_alone, pim_alone);
     println!(
         "co-execution under {}: GPU first run = {} cycles, PIM first run = {} cycles",
-        policy,
-        out.gpu_first_run,
-        out.pim_first_run
+        policy, out.gpu_first_run, out.pim_first_run
     );
     println!(
         "speedups: MEM {:.3}, PIM {:.3} | fairness index {:.3} | system throughput {:.3}",

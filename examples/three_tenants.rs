@@ -26,13 +26,21 @@ fn main() {
     let mut alone = Vec::new();
     for &(_, bench, sms) in &tenants {
         alone.push(
-            solo.standalone(Box::new(gpu_kernel(GpuBenchmark(bench), sms, scale)), 0, false)
-                .expect("baseline")
-                .cycles,
+            solo.standalone(
+                Box::new(gpu_kernel(GpuBenchmark(bench), sms, scale)),
+                0,
+                false,
+            )
+            .expect("baseline")
+            .cycles,
         );
     }
     let pim_alone = solo
-        .standalone(Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, scale)), 0, true)
+        .standalone(
+            Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, scale)),
+            0,
+            true,
+        )
         .expect("baseline")
         .cycles;
 

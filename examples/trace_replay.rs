@@ -19,7 +19,8 @@ fn main() {
     let recorder = TraceRecorder::new(Box::new(gpu_kernel(GpuBenchmark(5), sms, scale)));
     let mut sim = Simulator::new(SystemConfig::default(), PolicyKind::FrFcfs);
     let k = sim.mount(Box::new(recorder), (0..sms).collect(), false, false);
-    sim.run_until_all_first_done(10_000_000).expect("record run");
+    sim.run_until_all_first_done(10_000_000)
+        .expect("record run");
     let recorded_cycles = sim.kernels()[k].first_run_cycles.expect("finished");
     // Reclaim the recorder to extract its records.
     let records = {
@@ -50,7 +51,10 @@ fn main() {
         }
         rec.into_records()
     };
-    println!("recorded {} requests from G5 (dwt2d) on {sms} SMs", records.len());
+    println!(
+        "recorded {} requests from G5 (dwt2d) on {sms} SMs",
+        records.len()
+    );
 
     // 2. Serialize to the text format and parse it back.
     let mut text = Vec::new();
@@ -66,7 +70,8 @@ fn main() {
     let replay = TraceKernel::new("dwt2d-trace", sms, reloaded);
     let mut sim = Simulator::new(SystemConfig::default(), PolicyKind::FrFcfs);
     let k = sim.mount(Box::new(replay), (0..sms).collect(), false, false);
-    sim.run_until_all_first_done(10_000_000).expect("replay run");
+    sim.run_until_all_first_done(10_000_000)
+        .expect("replay run");
     let replayed_cycles = sim.kernels()[k].first_run_cycles.expect("finished");
     println!(
         "synthetic run: {recorded_cycles} cycles; trace replay: {replayed_cycles} cycles \

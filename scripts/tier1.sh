@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, and lint-clean clippy.
+# Tier-1 gate: formatting, release build (examples included), full test
+# suite, and lint-clean clippy.
 # Run from the repository root. Fails fast on the first broken step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release --workspace
+cargo build --examples --workspace
 cargo test -q --workspace
 cargo clippy --all-targets --workspace -- -D warnings

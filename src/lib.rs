@@ -63,6 +63,6 @@ pub mod prelude {
     pub use pimsim_stats::metrics::{fairness_index, system_throughput};
     pub use pimsim_types::{Mode, SystemConfig, VcMode};
     pub use pimsim_workloads::{
-        gpu_kernel, llm_scenario, pim_kernel, rodinia::GpuBenchmark, pim_suite::PimBenchmark,
+        gpu_kernel, llm_scenario, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark,
     };
 }

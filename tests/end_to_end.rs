@@ -25,7 +25,10 @@ fn request_conservation_standalone_gpu() {
     let out = r
         .standalone(Box::new(gpu_kernel(GpuBenchmark(3), 40, SCALE)), 0, false)
         .expect("finishes");
-    assert_eq!(out.mc.mem_arrivals, out.mc.mem_served, "no request lost or duplicated");
+    assert_eq!(
+        out.mc.mem_arrivals, out.mc.mem_served,
+        "no request lost or duplicated"
+    );
     assert_eq!(out.mc.pim_arrivals, 0);
 }
 
@@ -37,7 +40,10 @@ fn request_conservation_standalone_pim() {
     let out = r.standalone(Box::new(k), 0, true).expect("finishes");
     assert_eq!(out.mc.pim_arrivals, total);
     assert_eq!(out.mc.pim_served, total);
-    assert_eq!(out.mc.mem_arrivals, 0, "PIM must bypass the L2 and never read DRAM as MEM");
+    assert_eq!(
+        out.mc.mem_arrivals, 0,
+        "PIM must bypass the L2 and never read DRAM as MEM"
+    );
 }
 
 #[test]
@@ -82,8 +88,14 @@ fn f3fs_is_starvation_free_in_both_vc_configs() {
             Box::new(pim_kernel(PimBenchmark(4), 32, 4, 256, SCALE)),
             true,
         );
-        assert!(!out.gpu_starved, "F3FS must not starve the GPU kernel ({vc})");
-        assert!(!out.pim_starved, "F3FS must not starve the PIM kernel ({vc})");
+        assert!(
+            !out.gpu_starved,
+            "F3FS must not starve the GPU kernel ({vc})"
+        );
+        assert!(
+            !out.pim_starved,
+            "F3FS must not starve the PIM kernel ({vc})"
+        );
     }
 }
 
@@ -118,7 +130,10 @@ fn pim_first_starves_gpu_and_mem_first_hurts_pim() {
         Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
         true,
     );
-    assert!(out.gpu_starved, "PIM-First must deny service to the GPU kernel");
+    assert!(
+        out.gpu_starved,
+        "PIM-First must deny service to the GPU kernel"
+    );
 
     let r = runner(PolicyKind::MemFirst, VcMode::SplitPim);
     let out2 = r.coexec(

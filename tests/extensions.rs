@@ -28,7 +28,10 @@ fn sms_services_both_sides_end_to_end() {
         Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, SCALE)),
         true,
     );
-    assert!(!out.gpu_starved && !out.pim_starved, "SMS batches must rotate");
+    assert!(
+        !out.gpu_starved && !out.pim_starved,
+        "SMS batches must rotate"
+    );
     assert!(out.mc.mem_served > 0 && out.mc.pim_served > 0);
 }
 
@@ -133,8 +136,7 @@ fn trace_replay_matches_synthetic_run_through_full_simulator() {
             sim.merged_mc_stats().mem_arrivals,
         )
     };
-    let (replay_cycles, replay_arrivals) =
-        run(Box::new(TraceKernel::new("replay", sms, records)));
+    let (replay_cycles, replay_arrivals) = run(Box::new(TraceKernel::new("replay", sms, records)));
     let (synth_cycles, synth_arrivals) = run(Box::new(gpu_kernel(GpuBenchmark(13), sms, SCALE)));
     // The replay paces at recorded (uncontended-generator) cycles, so the
     // address stream and DRAM traffic match exactly; time may differ only
@@ -167,5 +169,8 @@ fn energy_accounting_is_consistent_across_policies() {
     let a = run(PolicyKind::FrFcfs);
     let b = run(PolicyKind::Fcfs);
     assert!((a.io - b.io).abs() < 1e-6, "same requests, same I/O energy");
-    assert!(a.row <= b.row, "FR-FCFS must not need more activates than FCFS");
+    assert!(
+        a.row <= b.row,
+        "FR-FCFS must not need more activates than FCFS"
+    );
 }

@@ -47,7 +47,10 @@ fn assert_mc_identical(a: &McStats, b: &McStats, ctx: &str) {
         a.mem_drain_latency_sum, b.mem_drain_latency_sum,
         "{ctx}: mem_drain_latency_sum"
     );
-    assert_eq!(a.switch_conflicts, b.switch_conflicts, "{ctx}: switch_conflicts");
+    assert_eq!(
+        a.switch_conflicts, b.switch_conflicts,
+        "{ctx}: switch_conflicts"
+    );
     assert_eq!(a.blp_sum, b.blp_sum, "{ctx}: blp_sum");
     assert_eq!(a.active_cycles, b.active_cycles, "{ctx}: active_cycles");
     assert_eq!(
@@ -59,15 +62,28 @@ fn assert_mc_identical(a: &McStats, b: &McStats, ctx: &str) {
         "{ctx}: pim_q_occupancy_sum"
     );
     assert_eq!(a.cycles, b.cycles, "{ctx}: cycles");
-    assert_eq!(a.cycles_mem_mode, b.cycles_mem_mode, "{ctx}: cycles_mem_mode");
-    assert_eq!(a.cycles_pim_mode, b.cycles_pim_mode, "{ctx}: cycles_pim_mode");
-    assert_eq!(a.cycles_draining, b.cycles_draining, "{ctx}: cycles_draining");
+    assert_eq!(
+        a.cycles_mem_mode, b.cycles_mem_mode,
+        "{ctx}: cycles_mem_mode"
+    );
+    assert_eq!(
+        a.cycles_pim_mode, b.cycles_pim_mode,
+        "{ctx}: cycles_pim_mode"
+    );
+    assert_eq!(
+        a.cycles_draining, b.cycles_draining,
+        "{ctx}: cycles_draining"
+    );
     assert_eq!(
         a.mem_latency.count(),
         b.mem_latency.count(),
         "{ctx}: mem_latency.count"
     );
-    assert_eq!(a.mem_latency.max(), b.mem_latency.max(), "{ctx}: mem_latency.max");
+    assert_eq!(
+        a.mem_latency.max(),
+        b.mem_latency.max(),
+        "{ctx}: mem_latency.max"
+    );
     assert_eq!(
         a.mem_latency.mean(),
         b.mem_latency.mean(),
@@ -78,7 +94,11 @@ fn assert_mc_identical(a: &McStats, b: &McStats, ctx: &str) {
         b.pim_latency.count(),
         "{ctx}: pim_latency.count"
     );
-    assert_eq!(a.pim_latency.max(), b.pim_latency.max(), "{ctx}: pim_latency.max");
+    assert_eq!(
+        a.pim_latency.max(),
+        b.pim_latency.max(),
+        "{ctx}: pim_latency.max"
+    );
     assert_eq!(
         a.pim_latency.mean(),
         b.pim_latency.mean(),

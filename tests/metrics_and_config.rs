@@ -2,14 +2,15 @@
 //! invariants, and workload catalogs — these run fast in debug builds.
 
 use pim_coscheduling::core::policy::PolicyKind;
+use pim_coscheduling::gpu::KernelModel;
 use pim_coscheduling::stats::metrics::{fairness_index, system_throughput, CoexecMetrics};
 use pim_coscheduling::types::{AddressMapConfig, DramTiming, SystemConfig, VcMode};
 use pim_coscheduling::workloads::{
-    gpu_kernel, pim_kernel, stream_triad_spec,
-    rodinia::{figure13_picks, gpu_kernel_params, memory_intensive_picks, GpuBenchmark},
+    gpu_kernel, pim_kernel,
     pim_suite::{pim_kernel_spec, PimBenchmark},
+    rodinia::{figure13_picks, gpu_kernel_params, memory_intensive_picks, GpuBenchmark},
+    stream_triad_spec,
 };
-use pim_coscheduling::gpu::KernelModel;
 
 #[test]
 fn fairness_index_matches_paper_equation() {
@@ -91,7 +92,11 @@ fn workload_catalogs_cover_the_paper_tables() {
     let picks = memory_intensive_picks();
     assert!(picks.contains(&GpuBenchmark(4)) && picks.contains(&GpuBenchmark(15)));
     let f13 = figure13_picks();
-    assert_eq!(f13[0], GpuBenchmark(10), "G10 is the compute-intensive pick");
+    assert_eq!(
+        f13[0],
+        GpuBenchmark(10),
+        "G10 is the compute-intensive pick"
+    );
 }
 
 #[test]
@@ -122,7 +127,10 @@ fn pim_blocks_are_rf_multiples() {
         );
     }
     let triad = stream_triad_spec(32, 1.0);
-    assert_eq!(triad.ops_per_block % u32::from(triad.rf_entries_per_bank), 0);
+    assert_eq!(
+        triad.ops_per_block % u32::from(triad.rf_entries_per_bank),
+        0
+    );
 }
 
 #[test]
@@ -152,7 +160,10 @@ fn gpu_kernel_params_respect_figure4_extremes() {
     let g10 = gpu_kernel_params(GpuBenchmark(10), 1.0);
     let g15 = gpu_kernel_params(GpuBenchmark(15), 1.0);
     let g17 = gpu_kernel_params(GpuBenchmark(17), 1.0);
-    assert!(g4.issue_interval < g10.issue_interval, "G4 intense, G10 compute");
+    assert!(
+        g4.issue_interval < g10.issue_interval,
+        "G4 intense, G10 compute"
+    );
     assert!(g15.l2_reuse < 0.1, "nn streams with no reuse");
     assert!(g17.row_locality > 0.9, "pathfinder peak RBHR");
 }

@@ -5,9 +5,7 @@
 
 use pim_coscheduling::noc::Crossbar;
 use pim_coscheduling::prelude::*;
-use pim_coscheduling::types::{
-    AppId, PhysAddr, Request, RequestId, RequestKind,
-};
+use pim_coscheduling::types::{AppId, PhysAddr, Request, RequestId, RequestKind};
 use pim_coscheduling::workloads::{gpu_kernel, pim_kernel};
 
 #[test]
@@ -87,10 +85,7 @@ fn pim_block_ordering_survives_every_policy() {
                 Box::new(pim_kernel(PimBenchmark(6), 32, 4, 256, 0.02)),
                 true,
             );
-            assert!(
-                out.mc.pim_served > 0,
-                "{policy}/{vc}: no PIM ops serviced"
-            );
+            assert!(out.mc.pim_served > 0, "{policy}/{vc}: no PIM ops serviced");
         }
     }
 }

@@ -1,0 +1,85 @@
+//! Round-trips every entry of the policy registry through the layers that
+//! consume it: the registry itself (name ↔ kind), the policy builder
+//! (kind → `SchedulePolicy` instance), the CLI front-end, and the
+//! spec-based `Runner` constructor. A policy added to the registry is
+//! immediately reachable from every front-end or these tests fail.
+
+use pim_coscheduling::core::policy::registry;
+use pim_coscheduling::core::policy::PolicyKind;
+
+#[test]
+fn every_registered_policy_round_trips_name_kind_and_builder() {
+    let descriptors = registry::descriptors();
+    assert!(descriptors.len() >= 9, "registry lost entries");
+    for d in descriptors {
+        let kind = d.default_kind();
+        // name → kind → name.
+        assert_eq!(registry::parse_spec(d.name).unwrap(), kind, "{}", d.name);
+        assert_eq!(kind.canonical_name(), d.name);
+        for alias in d.aliases {
+            assert_eq!(registry::parse_spec(alias).unwrap(), kind, "{alias}");
+        }
+        // kind → built policy instance; the instance's short name matches
+        // the kind's paper label, so tables and the registry agree.
+        let built = kind.build();
+        assert_eq!(built.name(), kind.label(), "{}", d.name);
+        // Every advertised parameter is actually tunable, and an arbitrary
+        // other key is rejected.
+        for p in d.params {
+            let tuned = kind.apply_param(p.key, 1).unwrap_or_else(|e| {
+                panic!("{}: advertised param '{}' rejected: {e}", d.name, p.key)
+            });
+            assert_eq!(tuned.canonical_name(), d.name, "tuning changed policy");
+        }
+        assert!(kind.apply_param("no-such-key", 1).is_err(), "{}", d.name);
+    }
+}
+
+#[test]
+fn registered_names_are_unambiguous() {
+    let mut seen: Vec<String> = Vec::new();
+    for d in registry::descriptors() {
+        for name in std::iter::once(&d.name).chain(d.aliases) {
+            let lower = name.to_ascii_lowercase();
+            assert!(!seen.contains(&lower), "duplicate spelling '{name}'");
+            seen.push(lower);
+        }
+    }
+}
+
+#[test]
+fn cli_accepts_every_registered_policy_name() {
+    for d in registry::descriptors() {
+        for name in std::iter::once(&d.name).chain(d.aliases) {
+            let args: Vec<String> = ["collab", "--policy", name]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let cmd = pimsim_cli::parse_args(&args)
+                .unwrap_or_else(|e| panic!("CLI rejected registered policy '{name}': {e}"));
+            let pimsim_cli::Command::Collab(opts) = cmd else {
+                panic!("wrong subcommand for '{name}'")
+            };
+            assert_eq!(opts.policy, d.default_kind(), "{name}");
+        }
+    }
+}
+
+#[test]
+fn runner_from_spec_matches_registry_defaults() {
+    for d in registry::descriptors() {
+        let r = pim_coscheduling::sim::Runner::from_spec(
+            pim_coscheduling::types::SystemConfig::default(),
+            d.name,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        assert_eq!(r.policy, d.default_kind());
+    }
+    assert_eq!(
+        PolicyKind::parse_spec("f3fs:mem-cap=64,pim-cap=16").unwrap(),
+        PolicyKind::F3fs {
+            mem_cap: 64,
+            pim_cap: 16
+        }
+    );
+}

@@ -134,7 +134,11 @@ fn crossbar_conserves_flits() {
     for case in 0..64 {
         let vc2 = rng.chance(0.5);
         let iterations = 1 + rng.next_range(2) as usize;
-        let mode = if vc2 { VcMode::SplitPim } else { VcMode::Shared };
+        let mode = if vc2 {
+            VcMode::SplitPim
+        } else {
+            VcMode::Shared
+        };
         let mut x = Crossbar::new(8, 4, 64, mode).with_iterations(iterations);
         let mut injected = 0u64;
         let mut delivered = Vec::new();
@@ -332,6 +336,11 @@ fn controller_conserves_arbitrary_mixes() {
                 break;
             }
         }
-        assert_eq!(done, expected, "case {case}: {} lost requests", policy.label());
+        assert_eq!(
+            done,
+            expected,
+            "case {case}: {} lost requests",
+            policy.label()
+        );
     }
 }

@@ -56,7 +56,11 @@ fn mode_residency_accounts_for_all_active_cycles() {
 fn standalone_pim_spends_almost_all_time_in_pim_mode() {
     let r = runner(PolicyKind::FrFcfs);
     let out = r
-        .standalone(Box::new(pim_kernel(PimBenchmark(4), 32, 4, 256, SCALE)), 0, true)
+        .standalone(
+            Box::new(pim_kernel(PimBenchmark(4), 32, 4, 256, SCALE)),
+            0,
+            true,
+        )
         .expect("finishes");
     let s = &out.mc;
     assert!(
