@@ -35,7 +35,7 @@ fn main() {
     let scale = args.scale;
     let budget = args.budget;
     let system = args.system();
-    let results = parallel_map(jobs, |(g, ipoly)| {
+    let results = parallel_map(jobs, move |(g, ipoly)| {
         let mut sys = system.clone();
         if ipoly {
             sys.addr_map = AddressMapConfig::IPolyHash;

@@ -1,0 +1,135 @@
+//! Parallel-scaling measurement for the sharded memory stage: simulated
+//! GPU cycles per wall-clock second at 1/2/4/8 memory-stage threads,
+//! written to `BENCH_parallel.json`. Scenarios mirror the `hotloop`
+//! bench: standalone MEM, standalone PIM, and F3FS competitive
+//! co-execution.
+//!
+//! Run with `cargo run --release --bin parallel_scaling`. Every width
+//! first asserts it simulated the same number of cycles as the serial
+//! run — throughput is only comparable because the runs are
+//! bit-identical. The host's CPU count is recorded alongside the rates:
+//! on a machine with fewer cores than threads, the extra widths measure
+//! dispatch overhead, not speedup.
+
+use std::time::Instant;
+
+use pimsim_bench::header;
+use pimsim_core::policy::PolicyKind;
+use pimsim_sim::Runner;
+use pimsim_types::SystemConfig;
+use pimsim_workloads::{gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark};
+
+const SCALE: f64 = 1.0;
+/// Co-execution is slower per simulated cycle; a smaller size keeps the
+/// measurement wall-time reasonable.
+const COEXEC_SCALE: f64 = 0.2;
+/// Criterion-style minimum: repeat each measurement and keep the best, so
+/// one scheduler hiccup does not masquerade as a regression.
+const REPS: usize = 3;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn runner(policy: PolicyKind, threads: usize) -> Runner {
+    let mut r = Runner::new(SystemConfig::default(), policy);
+    r.max_gpu_cycles = 60_000_000;
+    r.memory_threads = Some(threads);
+    r
+}
+
+fn standalone_mem(threads: usize) -> u64 {
+    runner(PolicyKind::FrFcfs, threads)
+        .standalone(Box::new(gpu_kernel(GpuBenchmark(10), 8, SCALE)), 0, false)
+        .expect("finishes")
+        .cycles
+}
+
+fn standalone_pim(threads: usize) -> u64 {
+    runner(PolicyKind::FrFcfs, threads)
+        .standalone(
+            Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+            0,
+            true,
+        )
+        .expect("finishes")
+        .cycles
+}
+
+fn coexec_f3fs(threads: usize) -> u64 {
+    runner(PolicyKind::f3fs_competitive(), threads)
+        .coexec(
+            Box::new(gpu_kernel(GpuBenchmark(8), 72, COEXEC_SCALE)),
+            Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, COEXEC_SCALE)),
+            true,
+        )
+        .total_cycles
+}
+
+/// Best-of-`REPS` throughput in simulated cycles per wall second.
+fn measure(f: fn(usize) -> u64, threads: usize) -> (u64, f64) {
+    let mut best = 0.0_f64;
+    let mut cycles = 0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        cycles = f(threads);
+        let rate = cycles as f64 / t.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    (cycles, best)
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    header("Memory-stage parallel scaling (simulated cycles/sec per thread count)");
+    println!("  host CPUs: {host_cpus}\n");
+    type Scenario = fn(usize) -> u64;
+    let scenarios: [(&str, Scenario); 3] = [
+        ("standalone_mem", standalone_mem),
+        ("standalone_pim", standalone_pim),
+        ("coexec_f3fs", coexec_f3fs),
+    ];
+    let mut entries = Vec::new();
+    for (name, f) in scenarios {
+        let mut rates = Vec::new();
+        let mut serial_cycles = 0;
+        for &threads in &THREADS {
+            let (cycles, rate) = measure(f, threads);
+            if threads == 1 {
+                serial_cycles = cycles;
+            } else {
+                assert_eq!(
+                    cycles, serial_cycles,
+                    "{name}: {threads} threads changed the simulated cycle count"
+                );
+            }
+            rates.push(rate);
+        }
+        let speedup4 = rates[2] / rates[0];
+        println!(
+            "  {name:16} {serial_cycles:>10} cycles   t1 {:>10.0}/s   t2 {:>10.0}/s   t4 {:>10.0}/s   t8 {:>10.0}/s   t4/t1 {speedup4:.2}x",
+            rates[0], rates[1], rates[2], rates[3]
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"simulated_cycles\": {},\n",
+                "      \"cycles_per_sec_t1\": {:.1},\n",
+                "      \"cycles_per_sec_t2\": {:.1},\n",
+                "      \"cycles_per_sec_t4\": {:.1},\n",
+                "      \"cycles_per_sec_t8\": {:.1},\n",
+                "      \"speedup_t4_vs_t1\": {:.3}\n",
+                "    }}"
+            ),
+            name, serial_cycles, rates[0], rates[1], rates[2], rates[3], speedup4
+        ));
+    }
+    // serde is vendored as a no-op shim in this workspace, so the JSON is
+    // formatted by hand.
+    let json = format!(
+        "{{\n  \"benchmark\": \"parallel_scaling\",\n  \"unit\": \"simulated_gpu_cycles_per_wall_second\",\n  \"reps\": {REPS},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+}

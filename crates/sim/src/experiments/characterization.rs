@@ -110,8 +110,9 @@ pub fn characterize(system: &SystemConfig, scale: f64, budget: u64) -> Character
     let channels = system.dram.channels;
     let warps = system.gpu.pim_warps_per_sm;
     let outstanding = system.gpu.max_outstanding_pim_per_warp as u32;
-    let profiles = parallel_map(jobs, |job| {
-        let mut runner = Runner::new(system.clone(), PolicyKind::FrFcfs);
+    let sys = system.clone();
+    let profiles = parallel_map(jobs, move |job| {
+        let mut runner = Runner::new(sys.clone(), PolicyKind::FrFcfs);
         runner.max_gpu_cycles = budget;
         match job {
             Job::Gpu(b, sms) => {

@@ -92,14 +92,16 @@ pub fn run_collaborative(system: &SystemConfig, scale: f64, budget: u64) -> Coll
             jobs.push((policy, vc));
         }
     }
-    let points = parallel_map(jobs, |(policy, vc)| {
-        let mut sys = system.clone();
+    let base_system = system.clone();
+    let points = parallel_map(jobs, move |(policy, vc)| {
+        let mut sys = base_system.clone();
         sys.noc.vc_mode = vc;
         let mut runner = Runner::new(sys, policy);
         runner.max_gpu_cycles = budget;
-        let speedup = match runner
-            .collaborative(Box::new(qkv(system, scale)), Box::new(mha(system, scale)))
-        {
+        let speedup = match runner.collaborative(
+            Box::new(qkv(&base_system, scale)),
+            Box::new(mha(&base_system, scale)),
+        ) {
             Ok(out) => out.speedup(qkv_alone, mha_alone),
             // A policy that cannot finish the pair in budget effectively
             // serializes worse than sequential.

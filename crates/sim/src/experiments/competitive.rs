@@ -145,7 +145,7 @@ impl CompetitiveReport {
 
 /// Runs the standalone baselines for a sweep's kernels.
 pub fn run_baselines(cfg: &CompetitiveConfig) -> Baselines {
-    let system = &cfg.system;
+    let system = cfg.system.clone();
     let channels = system.dram.channels;
     let warps = system.gpu.pim_warps_per_sm;
     let outstanding = system.gpu.max_outstanding_pim_per_warp as u32;
@@ -215,7 +215,7 @@ pub fn run_baselines(cfg: &CompetitiveConfig) -> Baselines {
 /// parallel.
 pub fn run_competitive(cfg: &CompetitiveConfig) -> CompetitiveReport {
     let baselines = run_baselines(cfg);
-    let system = &cfg.system;
+    let system = cfg.system.clone();
     let channels = system.dram.channels;
     let warps = system.gpu.pim_warps_per_sm;
     let outstanding = system.gpu.max_outstanding_pim_per_warp as u32;
@@ -231,7 +231,7 @@ pub fn run_competitive(cfg: &CompetitiveConfig) -> CompetitiveReport {
     }
     let scale = cfg.scale;
     let budget = cfg.budget;
-    let b = &baselines;
+    let b = baselines.clone();
     let points = parallel_map(jobs, move |(g, p, policy, vc)| {
         let mut system = system.clone();
         system.noc.vc_mode = vc;

@@ -34,8 +34,9 @@ pub struct InterferenceBar {
 pub fn run_interference(system: &SystemConfig, scale: f64, budget: u64) -> Vec<InterferenceBar> {
     let victims = GpuBenchmark::all();
     // 80-SM standalone baselines.
-    let base80: Vec<u64> = parallel_map(victims.clone(), |v| {
-        let mut r = Runner::new(system.clone(), PolicyKind::FrFcfs);
+    let sys = system.clone();
+    let base80: Vec<u64> = parallel_map(victims.clone(), move |v| {
+        let mut r = Runner::new(sys.clone(), PolicyKind::FrFcfs);
         r.max_gpu_cycles = budget * 4;
         r.standalone(Box::new(gpu_kernel(v, 80, scale)), 0, false)
             .unwrap_or_else(|e| panic!("baseline {v}: {e}"))
@@ -62,8 +63,9 @@ pub fn run_interference(system: &SystemConfig, scale: f64, budget: u64) -> Vec<I
             jobs.push((vi, v, ci, c));
         }
     }
-    let speedups = parallel_map(jobs, |(vi, v, ci, c)| {
-        let mut r = Runner::new(system.clone(), PolicyKind::FrFcfs);
+    let sys = system.clone();
+    let speedups = parallel_map(jobs, move |(vi, v, ci, c)| {
+        let mut r = Runner::new(sys.clone(), PolicyKind::FrFcfs);
         r.max_gpu_cycles = budget;
         let victim = Box::new(gpu_kernel(v, 72, scale));
         let contended = match c {

@@ -1,18 +1,24 @@
-//! Parallel sweep helper: runs independent simulations across CPU cores.
+//! Parallel sweep helper: runs independent simulations across the shared
+//! worker pool ([`pimsim_pool::global`]).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// Applies `f` to every item, fanning out across available cores, and
-/// returns results in input order.
+/// Chunk jobs push their `(input index, output)` pairs here; the caller
+/// merges the chunks back into input order after the batch joins.
+type ChunkBin<T> = Arc<Mutex<Vec<Vec<(usize, T)>>>>;
+
+/// Applies `f` to every item, fanning out across the process-wide worker
+/// pool, and returns results in input order.
 ///
-/// Dispatch is a single atomic index over the item slice — workers claim
-/// the next unclaimed index with one `fetch_add`, so heterogeneous
-/// simulation lengths balance well and there is no shared dispatch lock to
-/// serialize on. Results land in pre-sized per-slot cells; each cell is
-/// touched by exactly one worker, so the per-slot locks below are never
-/// contended. A panic in any worker propagates to the caller when the
-/// thread scope joins.
+/// Items are split into chunks (a few per pool lane, so heterogeneous
+/// simulation lengths still balance); each chunk job computes its outputs
+/// into a plain `Vec<(index, T)>` and pushes the whole chunk into a
+/// shared bin, merged back into input order at join. A panic in any
+/// worker propagates to the caller.
+///
+/// The pool is sized by `PIMSIM_THREADS` when set, else by the machine's
+/// available parallelism; at width 1 this degenerates to a plain serial
+/// map on the calling thread.
 ///
 /// # Example
 ///
@@ -24,48 +30,56 @@ use std::sync::Mutex;
 /// ```
 pub fn parallel_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
 where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
+    I: Send + 'static,
+    T: Send + 'static,
+    F: Fn(I) -> T + Send + Sync + 'static,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let pool = pimsim_pool::global();
+    let threads = pool.threads().min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    // Per-slot cells instead of one big lock: the atomic index hands each
-    // slot to exactly one worker, so these mutexes exist only to satisfy
-    // the no-unsafe shared-mutation rules and are always uncontended.
-    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let item = work[idx]
-                    .lock()
-                    .expect("work slot poisoned")
-                    .take()
-                    .expect("each index dispatched exactly once");
-                let out = f(item);
-                *results[idx].lock().expect("result slot poisoned") = Some(out);
-            });
+    // A few chunks per lane: coarse enough to amortize dispatch, fine
+    // enough that one long chunk can't leave the other lanes idle.
+    let chunk_len = n.div_ceil(threads * 4).max(1);
+    let f = Arc::new(f);
+    let bin: ChunkBin<T> = Arc::new(Mutex::new(Vec::new()));
+    let mut jobs: Vec<pimsim_pool::Job> = Vec::with_capacity(n.div_ceil(chunk_len));
+    let mut items = items.into_iter();
+    let mut base = 0usize;
+    loop {
+        let chunk: Vec<I> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
         }
-    });
-    results
+        let start = base;
+        base += chunk.len();
+        let f = Arc::clone(&f);
+        let bin = Arc::clone(&bin);
+        jobs.push(Box::new(move || {
+            let out: Vec<(usize, T)> = chunk
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| (start + i, f(item)))
+                .collect();
+            bin.lock().expect("result bin poisoned").push(out);
+        }));
+    }
+    pool.run_batch(jobs); // propagates worker panics
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for chunk in bin.lock().expect("result bin poisoned").drain(..) {
+        for (idx, value) in chunk {
+            debug_assert!(slots[idx].is_none(), "index produced twice");
+            slots[idx] = Some(value);
+        }
+    }
+    slots
         .into_iter()
-        .map(|cell| {
-            cell.into_inner()
-                .expect("result slot poisoned")
-                .expect("every index filled")
-        })
+        .map(|slot| slot.expect("every index filled"))
         .collect()
 }
 
@@ -117,6 +131,22 @@ mod tests {
         });
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn nests_without_deadlocking() {
+        // A sweep whose jobs themselves call parallel_map (as simulations
+        // with a parallel memory stage do, via the shared pool) must
+        // complete — inner calls degrade to inline execution.
+        let out = parallel_map((0..8u64).collect(), |x| {
+            parallel_map((0..8u64).collect(), move |y| x * 8 + y)
+                .into_iter()
+                .sum::<u64>()
+        });
+        for (i, v) in out.iter().enumerate() {
+            let base = i as u64 * 8;
+            assert_eq!(*v, (base..base + 8).sum::<u64>());
         }
     }
 }

@@ -24,6 +24,8 @@ use pimsim_core::{Completion, MemoryController, SchedulePolicy};
 use pimsim_dram::AddressMapper;
 use pimsim_types::{Cycle, DecodedAddr, Request, RequestId, RequestKind, SystemConfig, VcMode};
 
+use crate::pipeline::{INTERNAL_ID_BIT, INTERNAL_LANE_SHIFT};
+
 /// Soft threshold on buffered outbound replies before the L2 stalls.
 ///
 /// Not a hard wire capacity: fill installs release all waiters at once
@@ -68,12 +70,19 @@ pub struct Partition {
     /// Round-robin pointers for lane service.
     rr_icnt: usize,
     rr_l2dram: usize,
+    /// Per-partition counter for internal (fill/writeback) request IDs;
+    /// see [`Partition::mint_internal_id`].
+    next_internal_id: u64,
     stats: PartitionStats,
 }
 
 impl Partition {
     /// Builds the partition for `channel`.
     pub fn new(channel: usize, cfg: &SystemConfig, policy: Box<dyn SchedulePolicy>) -> Self {
+        assert!(
+            (channel as u64) < (INTERNAL_ID_BIT >> INTERNAL_LANE_SHIFT),
+            "channel index exceeds the internal-ID lane bits"
+        );
         let vcs = cfg.noc.vc_mode.vc_count();
         Partition {
             channel,
@@ -89,8 +98,31 @@ impl Partition {
             acks: Wire::unbounded(),
             rr_icnt: 0,
             rr_l2dram: 0,
+            next_internal_id: 0,
             stats: PartitionStats::default(),
         }
+    }
+
+    /// Mints a simulator-internal request ID (L2 fills and writebacks)
+    /// from this partition's own ID lane:
+    /// `INTERNAL_ID_BIT | (channel << INTERNAL_LANE_SHIFT) | counter`.
+    ///
+    /// Minting touches no cross-partition state, so partitions can step
+    /// concurrently, and the sequence a partition mints depends only on
+    /// its own traffic — identical whether the stage runs serial or
+    /// parallel, with fast-forward on or off.
+    pub(crate) fn mint_internal_id(&mut self) -> RequestId {
+        debug_assert!(
+            self.next_internal_id < 1 << INTERNAL_LANE_SHIFT,
+            "internal ID counter overflowed its lane"
+        );
+        let id = RequestId(
+            INTERNAL_ID_BIT
+                | ((self.channel as u64) << INTERNAL_LANE_SHIFT)
+                | self.next_internal_id,
+        );
+        self.next_internal_id += 1;
+        id
     }
 
     /// The channel this partition serves.
@@ -170,24 +202,26 @@ impl Partition {
         self.ingress.lane_mut(vc).try_send(req).is_ok()
     }
 
-    /// One GPU-clock step of the L2 stage. `alloc_id` mints request IDs
-    /// for fills and writebacks.
-    pub fn step_l2(&mut self, now: Cycle, alloc_id: &mut dyn FnMut() -> RequestId) {
-        self.process_fills(now, alloc_id);
+    /// One GPU-clock step of the L2 stage. Fill and writeback IDs are
+    /// minted from this partition's own lane
+    /// ([`Partition::mint_internal_id`]).
+    pub fn step_l2(&mut self, now: Cycle) {
+        self.process_fills(now);
         self.drain_writebacks();
-        self.pop_icnt(now, alloc_id);
+        self.pop_icnt(now);
         self.drain_l2_delay(now);
     }
 
     /// Installs at most one fill per cycle and releases its waiters.
-    fn process_fills(&mut self, now: Cycle, alloc_id: &mut dyn FnMut() -> RequestId) {
+    fn process_fills(&mut self, now: Cycle) {
         let Some(fill) = self.pending_fills.pop_front() else {
             return;
         };
         let (waiters, writeback) = self.l2.fill(fill.addr, now);
         if let Some(addr) = writeback {
+            let id = self.mint_internal_id();
             self.pending_writebacks.push_back(Request::new(
-                alloc_id(),
+                id,
                 fill.app,
                 RequestKind::MemWrite,
                 addr,
@@ -214,7 +248,7 @@ impl Partition {
 
     /// Services up to [`Self::L2_LOOKUPS_PER_CYCLE`] ingress lane heads
     /// per cycle, round-robin over VCs.
-    fn pop_icnt(&mut self, now: Cycle, alloc_id: &mut dyn FnMut() -> RequestId) {
+    fn pop_icnt(&mut self, now: Cycle) {
         let vcs = self.ingress.lane_count();
         for _ in 0..Self::L2_LOOKUPS_PER_CYCLE {
             if self.reply.len() >= REPLY_OUT_CAP {
@@ -226,7 +260,7 @@ impl Partition {
                 let Some(&head) = self.ingress.lane(vc).peek() else {
                     continue;
                 };
-                if self.try_service_head(vc, head, now, alloc_id) {
+                if self.try_service_head(vc, head, now) {
                     self.rr_icnt = (vc + 1) % vcs;
                     serviced = true;
                     break;
@@ -242,13 +276,7 @@ impl Partition {
     }
 
     /// Attempts to service one lane head; returns whether it was consumed.
-    fn try_service_head(
-        &mut self,
-        vc: usize,
-        head: Request,
-        now: Cycle,
-        alloc_id: &mut dyn FnMut() -> RequestId,
-    ) -> bool {
+    fn try_service_head(&mut self, vc: usize, head: Request, now: Cycle) -> bool {
         if head.kind.is_pim() {
             // PIM bypasses the L2 entirely.
             let dvc = self.vc_of(true);
@@ -273,8 +301,9 @@ impl Partition {
             }
             AccessOutcome::MissAllocated => {
                 self.ingress.lane_mut(vc).recv();
+                let id = self.mint_internal_id();
                 let fill = Request::new(
-                    alloc_id(),
+                    id,
                     head.app,
                     RequestKind::MemRead,
                     self.l2.line_addr(head.addr),
@@ -456,15 +485,10 @@ mod tests {
     /// Drives the partition until quiet, returning delivered MEM replies
     /// and PIM acks.
     fn drive(p: &mut Partition, m: &AddressMapper, cycles: u64) -> (Vec<Request>, Vec<Request>) {
-        let mut next_id = 1_000_000u64;
-        let mut alloc = move || {
-            next_id += 1;
-            RequestId(next_id)
-        };
         let mut replies = Vec::new();
         let mut acks = Vec::new();
         for now in 0..cycles {
-            p.step_l2(now, &mut alloc);
+            p.step_l2(now);
             p.step_dram(now, m); // 1:1 clocks are fine for unit tests
             p.acks_mut().drain_into(&mut acks);
             while let Some(r) = p.reply_mut().recv() {
@@ -534,13 +558,8 @@ mod tests {
         let _ = p.try_accept(0, mem_read(100, 0x40));
         // After a few cycles with a tiny PIM queue, the MEM request is
         // still behind undrained PIM heads.
-        let mut next_id = 1_000_000u64;
-        let mut alloc = move || {
-            next_id += 1;
-            RequestId(next_id)
-        };
         for now in 0..3 {
-            p.step_l2(now, &mut alloc);
+            p.step_l2(now);
         }
         assert_eq!(
             p.stats().fills_sent,
@@ -581,6 +600,35 @@ mod tests {
             "refused, not panicked"
         );
         assert_eq!(p.ingress().lane(0).stats().refused, 1);
+    }
+
+    #[test]
+    fn internal_id_lanes_never_collide_across_channels() {
+        // One partition per channel, each minting a burst of internal IDs:
+        // every ID must be unique, tagged, and monotone within its lane —
+        // the exact properties parallel stepping and the completion-heap
+        // tie-break rely on.
+        let c = cfg();
+        let mut seen = std::collections::HashSet::new();
+        for ch in 0..32 {
+            let mut p = Partition::new(ch, &c, PolicyKind::FrFcfs.build());
+            let mut prev: Option<u64> = None;
+            for _ in 0..1000 {
+                let id = p.mint_internal_id().0;
+                assert!(id & INTERNAL_ID_BIT != 0, "internal IDs must be tagged");
+                assert_eq!(
+                    (id & !INTERNAL_ID_BIT) >> INTERNAL_LANE_SHIFT,
+                    ch as u64,
+                    "lane bits must encode the channel"
+                );
+                assert!(seen.insert(id), "duplicate internal ID {id:#x}");
+                if let Some(prev) = prev {
+                    assert!(id > prev, "IDs must be monotone within a lane");
+                }
+                prev = Some(id);
+            }
+        }
+        assert_eq!(seen.len(), 32 * 1000);
     }
 
     #[test]

@@ -67,6 +67,20 @@ impl ClockCoupler {
         }
     }
 
+    /// Consumes every pending DRAM tick at once, returning the first tick
+    /// number and the tick count — `(first, n)` stands for the ticks
+    /// `first, first+1, …, first+n-1`. Bit-identical to draining the same
+    /// credit through repeated [`ClockCoupler::take_dram_tick`] calls;
+    /// exists so the memory stage can dispatch one batch per GPU cycle
+    /// covering all of its DRAM ticks.
+    pub fn take_dram_span(&mut self) -> (Cycle, u64) {
+        let first = self.dram;
+        let n = self.acc / self.den;
+        self.acc -= n * self.den;
+        self.dram += n;
+        (first, n)
+    }
+
     /// Ends the GPU cycle (call after all stages have stepped).
     pub fn finish_gpu_cycle(&mut self) {
         self.gpu += 1;
@@ -121,6 +135,29 @@ mod tests {
             b.jump_to(997 + 13);
             assert_eq!(a.dram_now(), b.dram_now());
             assert_eq!(a.acc, b.acc);
+        }
+    }
+
+    #[test]
+    fn span_drain_matches_tick_by_tick_drain() {
+        for (num, den) in [(1, 1), (7, 5), (3500, 1410), (1, 3), (5, 7)] {
+            let mut a = ClockCoupler::new(num, den);
+            let mut b = ClockCoupler::new(num, den);
+            for _ in 0..997 {
+                a.accrue_gpu_cycle();
+                b.accrue_gpu_cycle();
+                let mut ticks_a = Vec::new();
+                while let Some(t) = a.take_dram_tick() {
+                    ticks_a.push(t);
+                }
+                let (first, n) = b.take_dram_span();
+                let ticks_b: Vec<Cycle> = (0..n).map(|i| first + i).collect();
+                assert_eq!(ticks_a, ticks_b, "{num}/{den}");
+                a.finish_gpu_cycle();
+                b.finish_gpu_cycle();
+                assert_eq!(a.dram_now(), b.dram_now(), "{num}/{den}");
+                assert_eq!(a.acc, b.acc, "{num}/{den}");
+            }
         }
     }
 

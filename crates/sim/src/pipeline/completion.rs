@@ -10,6 +10,19 @@ use super::{IssueStage, MountedKernel};
 /// writebacks) from kernel request IDs held in the inflight table.
 pub const INTERNAL_ID_BIT: u64 = 1 << 63;
 
+/// Bit position of the channel lane inside an internal request ID:
+/// `INTERNAL_ID_BIT | (channel << INTERNAL_LANE_SHIFT) | counter`.
+///
+/// Each partition mints internal IDs from its own counter (the lane), so
+/// minting needs no cross-partition state — the requirement for stepping
+/// partitions in parallel — while IDs stay globally unique (seven lane
+/// bits cover up to 128 channels) and monotone *within* a partition.
+/// Within-partition monotonicity is the property the controller's
+/// completion-heap tie-break depends on; internal IDs never cross
+/// partitions, so the cross-partition ordering change relative to the old
+/// global counter is unobservable and golden fixtures are preserved.
+pub const INTERNAL_LANE_SHIFT: u32 = 56;
+
 /// One slot of the [`InflightTable`].
 #[derive(Debug, Clone, Copy)]
 struct InflightEntry {
@@ -152,9 +165,7 @@ impl CompletionStage {
         now: Cycle,
     ) {
         let mut acks = std::mem::take(&mut self.ack_scratch);
-        for p in memory.partitions_mut() {
-            p.acks_mut().drain_into(&mut acks);
-        }
+        memory.drain_acks_into(&mut acks);
         for ack in &acks {
             Self::complete_one(&mut self.inflight, kernels, issue, ack, now, "pim-ack");
         }

@@ -1,50 +1,134 @@
 //! The memory stage: every per-channel partition (L2 slice + memory
-//! controller + DRAM/PIM channel), plus the internal-ID allocator for L2
-//! fills and writebacks.
+//! controller + DRAM/PIM channel), stepped either serially or sharded
+//! across a persistent worker pool.
+//!
+//! # Sharding
+//!
+//! Partitions are shared-nothing per tick: each owns its L2 slice,
+//! controller, and DRAM channel, and the address mapper they all read is
+//! immutable. Cross-partition traffic flows only through the request and
+//! reply crossbars, which run outside this stage. So one GPU cycle's
+//! memory work — the L2 front half plus every pending DRAM tick —
+//! can run per-partition in any order, on any thread, and produce
+//! bit-identical state. [`MemoryStage::step_cycle_all`] exploits that:
+//! with `threads > 1` it boxes each busy partition into a pool job
+//! (ownership moves to the worker and returns through a shared bin);
+//! with `threads == 1` it runs the exact serial loops.
+//!
+//! # Idle memoization
+//!
+//! The fast-forward probe ([`MemoryStage::next_activity_cycle`]) records
+//! which partitions reported no activity in `known_idle`. A partition an
+//! idle verdict was recorded for is skipped by both the probe and the
+//! stepping loops until something can make it busy again — which only
+//! the crossbar ejection path can, via [`MemoryStage::partition_mut`],
+//! which clears the memo. Draining (acks, replies) only removes work and
+//! never resurrects an idle partition, so those paths check emptiness
+//! through shared references first and leave memos intact.
+
+use std::sync::{Arc, Mutex};
 
 use pimsim_core::PolicyKind;
 use pimsim_dram::AddressMapper;
-use pimsim_types::{Cycle, RequestId, SystemConfig};
+use pimsim_pool::{Job, WorkerPool};
+use pimsim_types::{Cycle, Request, SystemConfig};
 
-use super::completion::INTERNAL_ID_BIT;
 use crate::partition::Partition;
+
+/// Stepped partitions return from worker jobs through this shared bin,
+/// tagged with their channel so the slots can be refilled.
+type ReturnBin = Arc<Mutex<Vec<(usize, Box<Partition>)>>>;
+
+/// Which executor parallel dispatch uses.
+#[derive(Debug)]
+enum StagePool {
+    /// `threads == 1`: no dispatch, pure serial loops.
+    Serial,
+    /// The process-wide pool has enough lanes; share it.
+    Global,
+    /// The requested width exceeds the global pool (e.g. a determinism
+    /// test forcing 8-way on a small machine); own a dedicated pool.
+    Owned(WorkerPool),
+}
 
 /// All memory partitions, stepped together in both clock domains: the L2
 /// front halves on the GPU clock, the controllers and DRAM channels on
 /// the DRAM clock.
+///
+/// Partition slots are `Option<Box<..>>` so parallel dispatch can move a
+/// partition into a worker job and take it back afterwards; outside
+/// [`MemoryStage::step_cycle_all`] every slot is `Some`.
 #[derive(Debug)]
 pub struct MemoryStage {
-    partitions: Vec<Partition>,
-    /// Monotonic counter for simulator-internal IDs (L2 fills and
-    /// writebacks), tagged with [`INTERNAL_ID_BIT`].
-    next_internal_id: u64,
+    partitions: Vec<Option<Box<Partition>>>,
+    /// Partitions the fast-forward probe proved idle; skipped by probing
+    /// and stepping until [`MemoryStage::partition_mut`] clears the memo.
+    known_idle: Vec<bool>,
+    threads: usize,
+    pool: StagePool,
+    bin: ReturnBin,
 }
 
 impl MemoryStage {
     /// Builds one partition per DRAM channel, each with its own policy
-    /// instance.
+    /// instance. The shard count defaults to `PIMSIM_THREADS` when set,
+    /// else 1 (serial — the historical default).
     pub fn new(cfg: &SystemConfig, policy: PolicyKind) -> Self {
-        MemoryStage {
-            partitions: (0..cfg.dram.channels)
-                .map(|c| Partition::new(c, cfg, policy.build()))
+        let channels = cfg.dram.channels;
+        let mut stage = MemoryStage {
+            partitions: (0..channels)
+                .map(|c| Some(Box::new(Partition::new(c, cfg, policy.build()))))
                 .collect(),
-            next_internal_id: 0,
-        }
+            known_idle: vec![false; channels],
+            threads: 1,
+            pool: StagePool::Serial,
+            bin: Arc::new(Mutex::new(Vec::with_capacity(channels))),
+        };
+        stage.set_threads(pimsim_pool::env_threads().unwrap_or(1));
+        stage
     }
 
-    /// The partitions (for stats).
-    pub fn partitions(&self) -> &[Partition] {
-        &self.partitions
+    /// Sets the shard width for stepping: 1 = serial (the exact
+    /// single-thread code path), `n > 1` = dispatch busy partitions onto
+    /// a worker pool. Results are bit-identical at every width.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1).min(self.partitions.len().max(1));
+        self.threads = threads;
+        self.pool = if threads <= 1 {
+            StagePool::Serial
+        } else if pimsim_pool::global().threads() >= threads {
+            StagePool::Global
+        } else {
+            StagePool::Owned(WorkerPool::new(threads))
+        };
     }
 
-    /// Mutable access to all partitions.
-    pub fn partitions_mut(&mut self) -> &mut [Partition] {
-        &mut self.partitions
+    /// The configured shard width.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
-    /// Mutable access to the partition serving channel `c`.
+    /// The partition serving channel `c` (shared; leaves the idle memo
+    /// intact).
+    pub fn get(&self, c: usize) -> &Partition {
+        self.partitions[c].as_deref().expect("partition in slot")
+    }
+
+    /// Iterates all partitions (for stats).
+    pub fn iter(&self) -> impl Iterator<Item = &Partition> {
+        self.partitions
+            .iter()
+            .map(|p| p.as_deref().expect("partition in slot"))
+    }
+
+    /// Mutable access to the partition serving channel `c`. Clears the
+    /// partition's idle memo: callers of this method may hand it new work
+    /// (crossbar ejection), so the recorded idle verdict no longer holds.
     pub fn partition_mut(&mut self, c: usize) -> &mut Partition {
-        &mut self.partitions[c]
+        self.known_idle[c] = false;
+        self.partitions[c]
+            .as_deref_mut()
+            .expect("partition in slot")
     }
 
     /// Number of channels (= partitions).
@@ -52,36 +136,199 @@ impl MemoryStage {
         self.partitions.len()
     }
 
-    /// One GPU-clock tick of every partition's L2 front half. Fill and
-    /// writeback IDs are minted here: internal IDs live outside the
-    /// inflight table — [`INTERNAL_ID_BIT`] keeps the two namespaces
-    /// disjoint — and are only minted while traffic is in flight, so the
-    /// sequence is identical with fast-forward on or off.
-    pub fn step_l2_all(&mut self, now: Cycle) {
-        let next = &mut self.next_internal_id;
-        for p in &mut self.partitions {
-            let mut alloc = || {
-                let id = RequestId(INTERNAL_ID_BIT | *next);
-                *next += 1;
-                id
-            };
-            p.step_l2(now, &mut alloc);
+    /// Drains every partition's PIM ack wire into `out`.
+    ///
+    /// Goes through shared references first: draining only removes work,
+    /// so partitions with empty ack wires are left untouched and keep
+    /// their idle memos.
+    pub fn drain_acks_into(&mut self, out: &mut Vec<Request>) {
+        for slot in &mut self.partitions {
+            let p = slot.as_deref_mut().expect("partition in slot");
+            if !p.acks().is_empty() {
+                p.acks_mut().drain_into(out);
+            }
         }
     }
 
-    /// One DRAM-clock tick of every partition's controller and channel.
-    pub fn step_dram_all(&mut self, dram_now: Cycle, mapper: &AddressMapper) {
-        for p in &mut self.partitions {
-            p.step_dram(dram_now, mapper);
+    /// One full GPU cycle of memory work: the L2 front halves at GPU
+    /// cycle `now`, then `ticks` DRAM ticks starting at `first_dram` —
+    /// serial at width 1, sharded across the pool otherwise.
+    ///
+    /// Both paths step partition-major: each partition runs its whole
+    /// cycle (L2 step plus its DRAM ticks) before the next partition
+    /// starts. Interleaving across partitions cannot matter — they are
+    /// shared-nothing within the stage — so per-partition state, and
+    /// therefore every downstream observable, is bit-identical to the
+    /// historical tick-major loop and to any parallel schedule.
+    pub fn step_cycle_all(
+        &mut self,
+        now: Cycle,
+        first_dram: Cycle,
+        ticks: u64,
+        mapper: &Arc<AddressMapper>,
+    ) {
+        if self.threads <= 1 {
+            for (c, slot) in self.partitions.iter_mut().enumerate() {
+                if self.known_idle[c] {
+                    continue;
+                }
+                let p = slot.as_deref_mut().expect("partition in slot");
+                p.step_l2(now);
+                for t in 0..ticks {
+                    p.step_dram(first_dram + t, mapper);
+                }
+            }
+            return;
+        }
+        let mut jobs: Vec<Job> = Vec::with_capacity(self.partitions.len());
+        for (c, slot) in self.partitions.iter_mut().enumerate() {
+            if self.known_idle[c] {
+                continue;
+            }
+            let mut p = slot.take().expect("partition in slot");
+            let bin = Arc::clone(&self.bin);
+            let mapper = Arc::clone(mapper);
+            jobs.push(Box::new(move || {
+                p.step_l2(now);
+                for t in 0..ticks {
+                    p.step_dram(first_dram + t, &mapper);
+                }
+                bin.lock().expect("partition bin poisoned").push((c, p));
+            }));
+        }
+        match &self.pool {
+            StagePool::Serial => unreachable!("threads > 1"),
+            StagePool::Global => pimsim_pool::global().run_batch(jobs),
+            StagePool::Owned(pool) => pool.run_batch(jobs),
+        }
+        let mut bin = self.bin.lock().expect("partition bin poisoned");
+        for (c, p) in bin.drain(..) {
+            debug_assert!(self.partitions[c].is_none(), "slot refilled twice");
+            self.partitions[c] = Some(p);
         }
     }
 
     /// The earliest DRAM cycle at or after `dram_now` at which any
     /// partition has work, or `None` while all are idle.
-    pub fn next_activity_cycle(&self, dram_now: Cycle) -> Option<Cycle> {
-        self.partitions
-            .iter()
-            .filter_map(|p| p.next_activity_cycle(dram_now))
-            .min()
+    ///
+    /// Memoizing: a partition that reports no activity is marked in
+    /// `known_idle` and not re-probed (nor re-stepped) until the
+    /// crossbar-ejection path touches it through
+    /// [`MemoryStage::partition_mut`].
+    pub fn next_activity_cycle(&mut self, dram_now: Cycle) -> Option<Cycle> {
+        let mut min: Option<Cycle> = None;
+        for (c, slot) in self.partitions.iter().enumerate() {
+            if self.known_idle[c] {
+                continue;
+            }
+            let p = slot.as_deref().expect("partition in slot");
+            match p.next_activity_cycle(dram_now) {
+                None => self.known_idle[c] = true,
+                Some(at) => min = Some(min.map_or(at, |m: Cycle| m.min(at))),
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(threads: usize) -> (MemoryStage, Arc<AddressMapper>) {
+        let cfg = SystemConfig::default();
+        let mapper = Arc::new(AddressMapper::new(
+            &cfg.addr_map,
+            &cfg.dram,
+            cfg.dram_word_bytes(),
+        ));
+        let mut m = MemoryStage::new(&cfg, PolicyKind::FrFcfs);
+        m.set_threads(threads);
+        (m, mapper)
+    }
+
+    fn mem_read(id: u64, addr: u64) -> Request {
+        use pimsim_types::{AppId, PhysAddr, RequestId, RequestKind};
+        Request::new(
+            RequestId(id),
+            AppId::GPU,
+            RequestKind::MemRead,
+            PhysAddr(addr),
+            3,
+            0,
+        )
+    }
+
+    /// Pushes one read into every channel, steps to quiescence, and
+    /// returns per-channel (fills_sent, reply lengths) plus merged stats.
+    fn drive(threads: usize) -> Vec<(u64, usize, u64)> {
+        let (mut m, mapper) = stage(threads);
+        let channels = m.channel_count();
+        let spacing = 0x100u64; // one distinct line per channel via mapper
+        let mut pushed = 0usize;
+        let mut addr = 0u64;
+        while pushed < channels * 2 {
+            let c = mapper.decode(pimsim_types::PhysAddr(addr)).channel as usize;
+            if m.get(c).ingress().lane(0).can_accept() {
+                assert!(m.partition_mut(c).try_accept(0, mem_read(addr, addr)));
+                pushed += 1;
+            }
+            addr += spacing;
+        }
+        for now in 0..400u64 {
+            // 1:1 clock coupling is fine for a unit test.
+            m.step_cycle_all(now, now, 1, &mapper);
+            // Drain replies so REPLY_OUT_CAP never back-pressures.
+            for c in 0..channels {
+                if !m.get(c).reply().is_empty() {
+                    while m.partition_mut(c).reply_mut().recv().is_some() {}
+                }
+            }
+        }
+        (0..channels)
+            .map(|c| {
+                let p = m.get(c);
+                (
+                    p.stats().fills_sent,
+                    p.reply().len(),
+                    p.mc.stats().mem_served,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_stepping_matches_serial_bit_for_bit() {
+        let serial = drive(1);
+        for threads in [2, 8] {
+            assert_eq!(drive(threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn idle_memo_skips_and_partition_mut_revives() {
+        let (mut m, mapper) = stage(1);
+        assert_eq!(m.next_activity_cycle(0), None, "everything starts idle");
+        assert!(m.known_idle.iter().all(|&b| b), "all memos set");
+        // Touching a partition clears only its memo...
+        let c = mapper.decode(pimsim_types::PhysAddr(0)).channel as usize;
+        assert!(m.partition_mut(c).try_accept(0, mem_read(1, 0)));
+        assert!(!m.known_idle[c]);
+        assert_eq!(m.known_idle.iter().filter(|&&b| !b).count(), 1);
+        // ...and the probe sees its activity again.
+        assert_eq!(m.next_activity_cycle(7), Some(7));
+    }
+
+    #[test]
+    fn set_threads_clamps_and_reports() {
+        let (mut m, _) = stage(1);
+        assert_eq!(m.threads(), 1);
+        m.set_threads(0);
+        assert_eq!(m.threads(), 1);
+        m.set_threads(4);
+        assert_eq!(m.threads(), 4);
+        let over = m.channel_count() + 10;
+        m.set_threads(over);
+        assert_eq!(m.threads(), m.channel_count());
     }
 }

@@ -31,7 +31,7 @@ mod reply_net;
 mod request_net;
 
 pub use clock::ClockCoupler;
-pub use completion::{CompletionStage, InflightTable, INTERNAL_ID_BIT};
+pub use completion::{CompletionStage, InflightTable, INTERNAL_ID_BIT, INTERNAL_LANE_SHIFT};
 pub use issue::{IssueCtx, IssueStage};
 pub use memory::MemoryStage;
 pub use pimsim_component::{Component, Port, Wire, WireStats};

@@ -49,6 +49,11 @@ impl Component for ReplyNet {
     /// succeeds (SMs sink replies without backpressure).
     fn step(&mut self, now: Cycle, ctx: ReplyNetCtx<'_>) {
         for c in 0..ctx.memory.channel_count() {
+            // Shared-ref emptiness check first: channels with nothing to
+            // inject are left untouched, so their idle memos survive.
+            if ctx.memory.get(c).reply().is_empty() {
+                continue;
+            }
             let p = ctx.memory.partition_mut(c);
             while let Some(rep) = p.reply().peek() {
                 let dest = rep.src_port as usize;

@@ -77,7 +77,7 @@ impl Simulator {
     /// single merge loop behind every `merged_*` accessor.
     fn merged<T: Mergeable>(&self, per: impl Fn(&Partition) -> T) -> T {
         let mut agg = T::default();
-        for p in self.memory.partitions() {
+        for p in self.memory.iter() {
             agg.merge_from(&per(p));
         }
         agg
@@ -86,18 +86,12 @@ impl Simulator {
     /// Fills and writebacks are internal; MEM arrivals at the MC summed
     /// over channels.
     pub fn total_mem_arrivals(&self) -> u64 {
-        self.partitions()
-            .iter()
-            .map(|p| p.mc.stats().mem_arrivals)
-            .sum()
+        self.partitions().map(|p| p.mc.stats().mem_arrivals).sum()
     }
 
     /// PIM arrivals at the MC summed over channels.
     pub fn total_pim_arrivals(&self) -> u64 {
-        self.partitions()
-            .iter()
-            .map(|p| p.mc.stats().pim_arrivals)
-            .sum()
+        self.partitions().map(|p| p.mc.stats().pim_arrivals).sum()
     }
 
     /// Merged DRAM command counters across channels (energy accounting).

@@ -30,6 +30,11 @@ pub struct Runner {
     /// bit-identical either way, so turning it off is only useful for
     /// validating that claim or profiling the lock-step path.
     pub fast_forward: bool,
+    /// Shard width for the per-cycle memory stage (`None` keeps the
+    /// simulator's default: `PIMSIM_THREADS` if set, else serial).
+    /// Results are bit-identical at every width; see
+    /// [`Simulator::set_memory_threads`].
+    pub memory_threads: Option<usize>,
 }
 
 impl Runner {
@@ -41,6 +46,7 @@ impl Runner {
             policy,
             max_gpu_cycles: 60_000_000,
             fast_forward: true,
+            memory_threads: None,
         }
     }
 
@@ -62,6 +68,9 @@ impl Runner {
     fn simulator(&self) -> Simulator {
         let mut sim = Simulator::new(self.system.clone(), self.policy);
         sim.set_fast_forward(self.fast_forward);
+        if let Some(threads) = self.memory_threads {
+            sim.set_memory_threads(threads);
+        }
         sim
     }
 }

@@ -12,6 +12,8 @@
 //! nothing but the clocks, and the clock coupling uses exact integer
 //! arithmetic ([`SystemConfig::dram_clock_ratio`]).
 
+use std::sync::Arc;
+
 use pimsim_dram::AddressMapper;
 use pimsim_gpu::KernelModel;
 use pimsim_types::{Cycle, SystemConfig};
@@ -43,7 +45,8 @@ pub use crate::pipeline::{CycleBudgetExceeded, MountedKernel};
 /// ```
 pub struct Simulator {
     pub(crate) cfg: SystemConfig,
-    mapper: AddressMapper,
+    /// Shared (immutable) so parallel partition jobs can hold it.
+    mapper: Arc<AddressMapper>,
     issue: IssueStage,
     request_net: RequestNet,
     pub(crate) memory: MemoryStage,
@@ -68,7 +71,11 @@ impl Simulator {
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: SystemConfig, policy: pimsim_core::PolicyKind) -> Self {
         cfg.validate().expect("invalid system configuration");
-        let mapper = AddressMapper::new(&cfg.addr_map, &cfg.dram, cfg.dram_word_bytes());
+        let mapper = Arc::new(AddressMapper::new(
+            &cfg.addr_map,
+            &cfg.dram,
+            cfg.dram_word_bytes(),
+        ));
         let (clock_num, clock_den) = cfg.dram_clock_ratio();
         Simulator {
             issue: IssueStage::new(cfg.gpu.num_sms, cfg.gpu.max_outstanding_mem_per_sm),
@@ -146,8 +153,21 @@ impl Simulator {
     }
 
     /// The memory partitions (for stats).
-    pub fn partitions(&self) -> &[Partition] {
-        self.memory.partitions()
+    pub fn partitions(&self) -> impl Iterator<Item = &Partition> {
+        self.memory.iter()
+    }
+
+    /// The partition serving channel `c` (for stats).
+    pub fn partition(&self, c: usize) -> &Partition {
+        self.memory.get(c)
+    }
+
+    /// Sets how many threads step the memory partitions each cycle
+    /// (1 = serial, the default unless `PIMSIM_THREADS` is set). Results
+    /// are bit-identical at every width; see
+    /// [`crate::pipeline::MemoryStage::set_threads`].
+    pub fn set_memory_threads(&mut self, threads: usize) {
+        self.memory.set_threads(threads);
     }
 
     /// GPU cycles elapsed.
@@ -188,21 +208,21 @@ impl Simulator {
                 kernels: &mut self.kernels,
                 net: &mut self.request_net,
                 inflight: self.completion.inflight_mut(),
-                mapper: &self.mapper,
+                mapper: self.mapper.as_ref(),
             },
         );
 
         // 2. Request network ejects into partition ingress ports.
         self.request_net.step(now, &mut self.memory);
 
-        // 3. L2 stage per partition (GPU clock).
-        self.memory.step_l2_all(now);
-
-        // 4. DRAM clock domain (exact integer rational coupling).
+        // 3+4. The memory stage's whole cycle: L2 front halves (GPU
+        // clock) plus every pending DRAM tick (exact integer rational
+        // coupling) — one serial pass at width 1, one sharded pool batch
+        // otherwise.
         self.clock.accrue_gpu_cycle();
-        while let Some(dram_now) = self.clock.take_dram_tick() {
-            self.memory.step_dram_all(dram_now, &self.mapper);
-        }
+        let (first_dram, dram_ticks) = self.clock.take_dram_span();
+        self.memory
+            .step_cycle_all(now, first_dram, dram_ticks, &self.mapper);
 
         // 5. PIM acks (credit return, out-of-band).
         self.completion

@@ -42,7 +42,7 @@ fn main() {
             let mut mem = 0u32;
             for _ in 0..25 {
                 sim.step();
-                if sim.partitions()[0].mc.mode() == Mode::Mem {
+                if sim.partition(0).mc.mode() == Mode::Mem {
                     mem += 1;
                 }
             }

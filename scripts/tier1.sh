@@ -10,3 +10,9 @@ cargo build --release --workspace
 cargo build --examples --workspace
 cargo test -q --workspace
 cargo clippy --all-targets --workspace -- -D warnings
+
+# Determinism contract of the sharded memory stage (DESIGN.md §4f): the
+# golden fixtures and the serial-vs-parallel matrix must hold at both a
+# serial and a multi-threaded pool width.
+PIMSIM_THREADS=1 cargo test -q --release --test golden_pipeline --test parallel_equivalence
+PIMSIM_THREADS=4 cargo test -q --release --test golden_pipeline --test parallel_equivalence

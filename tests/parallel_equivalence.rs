@@ -1,0 +1,145 @@
+//! Serial-vs-parallel equivalence matrix: stepping the memory partitions
+//! sharded across 2 or 8 worker threads must be bit-identical to the
+//! serial path — same total cycles, same merged controller stats —
+//! across the golden-fixture workloads and policies.
+//!
+//! This is the determinism contract of the sharded memory stage
+//! (DESIGN.md §4f): partitions are shared-nothing within a cycle and
+//! internal request IDs are minted from per-partition lanes, so thread
+//! count, scheduling order, and pool configuration must be unobservable.
+//!
+//! The full matrix runs in release only (like `golden_pipeline`); a
+//! single smoke cell still runs in debug builds.
+
+use pim_coscheduling::core::policy::PolicyKind;
+use pim_coscheduling::core::McStats;
+use pim_coscheduling::sim::Runner;
+use pim_coscheduling::types::{SystemConfig, VcMode};
+use pim_coscheduling::workloads::{
+    gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark,
+};
+
+const SCALE: f64 = 0.01;
+const BUDGET: u64 = 20_000_000;
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn runner(policy: PolicyKind, vc_mode: VcMode, threads: usize) -> Runner {
+    let mut cfg = SystemConfig::default();
+    cfg.noc.vc_mode = vc_mode;
+    let mut r = Runner::new(cfg, policy);
+    r.max_gpu_cycles = BUDGET;
+    r.memory_threads = Some(threads);
+    r
+}
+
+/// Every integer observable of a run, flattened for exact comparison.
+fn mc_fields(mc: &McStats) -> Vec<u64> {
+    vec![
+        mc.mem_arrivals,
+        mc.pim_arrivals,
+        mc.mem_served,
+        mc.pim_served,
+        mc.mem_row_hits,
+        mc.mem_row_misses,
+        mc.pim_row_hits,
+        mc.pim_row_misses,
+        mc.switches,
+        mc.switches_mem_to_pim,
+        mc.mem_drain_latency_sum,
+        mc.switch_conflicts,
+        mc.blp_sum,
+        mc.active_cycles,
+        mc.mem_q_occupancy_sum,
+        mc.pim_q_occupancy_sum,
+        mc.cycles,
+        mc.cycles_mem_mode,
+        mc.cycles_pim_mode,
+        mc.cycles_draining,
+        mc.mem_latency.count(),
+        mc.mem_latency.max(),
+        mc.pim_latency.count(),
+        mc.pim_latency.max(),
+    ]
+}
+
+fn solo_mem(policy: PolicyKind, vc: VcMode, threads: usize) -> Vec<u64> {
+    let out = runner(policy, vc, threads)
+        .standalone(Box::new(gpu_kernel(GpuBenchmark(3), 16, SCALE)), 0, false)
+        .expect("solo MEM finishes");
+    let mut v = vec![out.cycles, out.icnt_injections];
+    v.extend(mc_fields(&out.mc));
+    v
+}
+
+fn solo_pim(policy: PolicyKind, vc: VcMode, threads: usize) -> Vec<u64> {
+    let out = runner(policy, vc, threads)
+        .standalone(
+            Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+            0,
+            true,
+        )
+        .expect("solo PIM finishes");
+    let mut v = vec![out.cycles, out.icnt_injections];
+    v.extend(mc_fields(&out.mc));
+    v
+}
+
+fn coexec(policy: PolicyKind, vc: VcMode, threads: usize) -> Vec<u64> {
+    let out = runner(policy, vc, threads).coexec(
+        Box::new(gpu_kernel(GpuBenchmark(8), 16, SCALE)),
+        Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, SCALE)),
+        true,
+    );
+    let mut v = vec![
+        out.total_cycles,
+        out.gpu_first_run,
+        out.pim_first_run,
+        u64::from(out.gpu_starved),
+        u64::from(out.pim_starved),
+    ];
+    v.extend(mc_fields(&out.mc));
+    v
+}
+
+fn assert_widths_agree(name: &str, run: impl Fn(usize) -> Vec<u64>) {
+    let serial = run(THREADS[0]);
+    for &threads in &THREADS[1..] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial, parallel,
+            "{name}: threads={threads} diverged from serial"
+        );
+    }
+}
+
+/// One quick cell that runs even in debug builds, so plain `cargo test`
+/// exercises the parallel dispatch path end to end.
+#[test]
+fn coexec_smoke_cell_is_thread_count_independent() {
+    assert_widths_agree("smoke/coexec/fr-fcfs/vc1", |threads| {
+        coexec(PolicyKind::FrFcfs, VcMode::Shared, threads)
+    });
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs the full matrix; use --release")]
+fn parallel_matrix_matches_serial() {
+    let policies = [
+        ("fr-fcfs", PolicyKind::FrFcfs),
+        ("f3fs", PolicyKind::f3fs_competitive()),
+        ("mem-first", PolicyKind::MemFirst),
+    ];
+    for (pname, policy) in policies {
+        for (vname, vc) in [("vc1", VcMode::Shared), ("vc2", VcMode::SplitPim)] {
+            assert_widths_agree(&format!("{pname}/mem_G3/{vname}"), |t| {
+                solo_mem(policy, vc, t)
+            });
+            assert_widths_agree(&format!("{pname}/pim_P1/{vname}"), |t| {
+                solo_pim(policy, vc, t)
+            });
+            assert_widths_agree(&format!("{pname}/coexec_G8_P2/{vname}"), |t| {
+                coexec(policy, vc, t)
+            });
+        }
+    }
+}
