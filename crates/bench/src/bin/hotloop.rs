@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use pimsim_bench::header;
 use pimsim_core::policy::PolicyKind;
-use pimsim_sim::Runner;
+use pimsim_sim::{KernelModel, Runner, Simulator, StageProfile};
 use pimsim_types::SystemConfig;
 use pimsim_workloads::{gpu_kernel, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark};
 
@@ -20,8 +20,16 @@ const SCALE: f64 = 1.0;
 /// measurement wall-time reasonable.
 const COEXEC_SCALE: f64 = 0.2;
 /// Criterion-style minimum: repeat each measurement and keep the best, so
-/// one scheduler hiccup does not masquerade as a regression.
-const REPS: usize = 3;
+/// one scheduler hiccup does not masquerade as a regression. Overridable
+/// via `HOTLOOP_REPS` (the tier-1 smoke runs a single rep).
+const DEFAULT_REPS: usize = 3;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn runner(policy: PolicyKind, fast_forward: bool) -> Runner {
     let mut r = Runner::new(SystemConfig::default(), policy);
@@ -58,11 +66,51 @@ fn coexec_f3fs(ff: bool) -> u64 {
         .total_cycles
 }
 
-/// Best-of-`REPS` throughput in simulated cycles per wall second.
-fn measure(f: fn(bool) -> u64, ff: bool) -> (u64, f64) {
+/// One profiled pass of a scenario: the same workload as the timed
+/// measurement, run once with per-stage wall timers on. Kept separate
+/// from the throughput reps because the timer reads themselves cost
+/// real time on the fastest scenarios.
+fn profile_scenario(name: &str) -> StageProfile {
+    let mut sim = Simulator::new(
+        SystemConfig::default(),
+        match name {
+            "coexec_f3fs" => PolicyKind::f3fs_competitive(),
+            _ => PolicyKind::FrFcfs,
+        },
+    );
+    sim.set_stage_profiling(true);
+    match name {
+        "standalone_mem" => {
+            let k = gpu_kernel(GpuBenchmark(10), 8, SCALE);
+            let slots = k.num_slots();
+            sim.mount(Box::new(k), (0..slots).collect(), false, false);
+            sim.run_until_all_first_done(60_000_000).expect("finishes");
+        }
+        "standalone_pim" => {
+            let k = pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE);
+            let slots = k.num_slots();
+            sim.mount(Box::new(k), (0..slots).collect(), true, false);
+            sim.run_until_all_first_done(60_000_000).expect("finishes");
+        }
+        "coexec_f3fs" => {
+            let pim = pim_kernel(PimBenchmark(2), 32, 4, 256, COEXEC_SCALE);
+            let gpu = gpu_kernel(GpuBenchmark(8), 72, COEXEC_SCALE);
+            let (ps, gs) = (pim.num_slots(), gpu.num_slots());
+            sim.mount(Box::new(pim), (0..ps).collect(), true, true);
+            sim.mount(Box::new(gpu), (ps..ps + gs).collect(), false, true);
+            // Starvation cutoff is a legitimate end, as in Runner::coexec.
+            let _ = sim.run_with_starvation_cutoff(60_000_000, Some(25));
+        }
+        other => unreachable!("unknown scenario {other}"),
+    }
+    *sim.stage_profile().expect("profiling was enabled")
+}
+
+/// Best-of-`reps` throughput in simulated cycles per wall second.
+fn measure(f: fn(bool) -> u64, ff: bool, reps: usize) -> (u64, f64) {
     let mut best = 0.0_f64;
     let mut cycles = 0;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let t = Instant::now();
         cycles = f(ff);
         let rate = cycles as f64 / t.elapsed().as_secs_f64();
@@ -73,6 +121,11 @@ fn measure(f: fn(bool) -> u64, ff: bool) -> (u64, f64) {
 
 fn main() {
     header("Hot-loop throughput: fast-forward on vs off (simulated cycles/sec)");
+    let reps = env_u64("HOTLOOP_REPS", DEFAULT_REPS as u64).max(1) as usize;
+    // Optional throughput floor (cycles/s, fast-forward on) applied to
+    // every scenario: the tier-1 smoke sets this far below any recorded
+    // rate so only asymptotic regressions — not machine noise — trip it.
+    let floor = env_u64("HOTLOOP_FLOOR", 0) as f64;
     type Scenario = fn(bool) -> u64;
     let scenarios: [(&str, Scenario); 3] = [
         ("standalone_mem", standalone_mem),
@@ -80,9 +133,13 @@ fn main() {
         ("coexec_f3fs", coexec_f3fs),
     ];
     let mut entries = Vec::new();
+    let mut slowest: Option<(&str, f64)> = None;
     for (name, f) in scenarios {
-        let (cycles_on, rate_on) = measure(f, true);
-        let (cycles_off, rate_off) = measure(f, false);
+        let (cycles_on, rate_on) = measure(f, true, reps);
+        let (cycles_off, rate_off) = measure(f, false, reps);
+        if slowest.is_none_or(|(_, r)| rate_on < r) {
+            slowest = Some((name, rate_on));
+        }
         assert_eq!(
             cycles_on, cycles_off,
             "{name}: fast-forward changed the simulated cycle count"
@@ -91,6 +148,18 @@ fn main() {
         println!(
             "  {name:16} {cycles_on:>10} cycles   ff_on {rate_on:>12.0}/s   ff_off {rate_off:>12.0}/s   speedup {speedup:.2}x"
         );
+        let prof = profile_scenario(name);
+        let total = prof.total_ns().max(1);
+        print!("  {:16} stages:", "");
+        let mut stage_fields = Vec::new();
+        for (stage, ns) in prof.stages() {
+            let pct = ns as f64 * 100.0 / total as f64;
+            print!(" {stage} {pct:.0}%");
+            stage_fields.push(format!(
+                "        \"{stage}_ns\": {ns},\n        \"{stage}_pct\": {pct:.1}"
+            ));
+        }
+        println!("  ({} stepped cycles)", prof.stepped_cycles);
         entries.push(format!(
             concat!(
                 "    {{\n",
@@ -98,18 +167,42 @@ fn main() {
                 "      \"simulated_cycles\": {},\n",
                 "      \"cycles_per_sec_ff_on\": {:.1},\n",
                 "      \"cycles_per_sec_ff_off\": {:.1},\n",
-                "      \"speedup\": {:.3}\n",
+                "      \"speedup\": {:.3},\n",
+                "      \"stage_breakdown\": {{\n",
+                "        \"stepped_cycles\": {},\n",
+                "{}\n",
+                "      }}\n",
                 "    }}"
             ),
-            name, cycles_on, rate_on, rate_off, speedup
+            name,
+            cycles_on,
+            rate_on,
+            rate_off,
+            speedup,
+            prof.stepped_cycles,
+            stage_fields.join(",\n")
         ));
     }
     // serde is vendored as a no-op shim in this workspace, so the JSON is
-    // formatted by hand.
-    let json = format!(
-        "{{\n  \"benchmark\": \"hotloop\",\n  \"unit\": \"simulated_gpu_cycles_per_wall_second\",\n  \"reps\": {REPS},\n  \"results\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
-    );
-    std::fs::write("BENCH_hotloop.json", &json).expect("write BENCH_hotloop.json");
-    println!("\nwrote BENCH_hotloop.json");
+    // formatted by hand. `HOTLOOP_OUT` overrides the path; empty skips the
+    // write (the tier-1 smoke must not clobber the committed best-of-3).
+    let out = std::env::var("HOTLOOP_OUT").unwrap_or_else(|_| "BENCH_hotloop.json".into());
+    if !out.is_empty() {
+        let json = format!(
+            "{{\n  \"benchmark\": \"hotloop\",\n  \"unit\": \"simulated_gpu_cycles_per_wall_second\",\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        );
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        println!("\nwrote {out}");
+    }
+    if floor > 0.0 {
+        let (name, rate) = slowest.expect("at least one scenario ran");
+        if rate < floor {
+            eprintln!(
+                "FAIL: {name} ran at {rate:.0} simulated cycles/s, below the floor of {floor:.0}"
+            );
+            std::process::exit(1);
+        }
+        println!("floor check passed: slowest scenario {name} at {rate:.0}/s >= {floor:.0}/s");
+    }
 }

@@ -51,7 +51,7 @@ struct SwitchInProgress {
 }
 
 /// Controller statistics (the sources for Figures 4, 6, and 10).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct McStats {
     /// MEM requests accepted into the MEM queue.
     pub mem_arrivals: u64,
@@ -198,6 +198,27 @@ pub struct MemoryController {
     /// Scratch for [`MemoryController::issue_mem`]: bank issue order.
     scratch_order: Vec<(u32, u64, usize)>,
     page_policy: PagePolicy,
+    /// Stall memo: cycles strictly before this are replayed by
+    /// [`MemoryController::replay_cycle`] in O(1) — the arming full step
+    /// proved no command can issue and no policy decision can change
+    /// before it. `0` means no stall is armed.
+    stall_until: Cycle,
+    /// Queue-demand bank mask captured at stall arm time (BLP replay);
+    /// frozen for the window because nothing issues and any enqueue
+    /// invalidates the memo.
+    stall_qmask: u64,
+    /// Bank busy expiries `(busy_until, bit)` live at arm time, sorted
+    /// ascending; consumed through `stall_busy_ptr` as time passes.
+    stall_busy: Vec<(Cycle, u64)>,
+    stall_busy_ptr: usize,
+    /// OR of the not-yet-expired `stall_busy` bits.
+    stall_busy_mask: u64,
+    /// Oracle knob: `false` forces a full step every cycle (what the
+    /// stall-memo equivalence property test compares against).
+    stall_enabled: bool,
+    /// `channel.row_epoch()` at the last `open_rows` rebuild; the scratch
+    /// view is only rebuilt when the channel's row state actually moved.
+    open_rows_epoch: u64,
     stats: McStats,
 }
 
@@ -219,8 +240,23 @@ impl MemoryController {
             scratch_best: vec![None; banks],
             scratch_order: Vec::with_capacity(banks),
             page_policy: cfg.mc.page_policy,
+            stall_until: 0,
+            stall_qmask: 0,
+            stall_busy: Vec::with_capacity(banks),
+            stall_busy_ptr: 0,
+            stall_busy_mask: 0,
+            stall_enabled: true,
+            open_rows_epoch: u64::MAX,
             stats: McStats::default(),
         }
+    }
+
+    /// Disables (or re-enables) the stall memo; with it off the controller
+    /// takes a full step every cycle — the brute-force oracle the
+    /// equivalence property test compares the memo against.
+    pub fn set_stall_enabled(&mut self, enabled: bool) {
+        self.stall_enabled = enabled;
+        self.stall_until = 0;
     }
 
     /// Current servicing mode.
@@ -259,6 +295,8 @@ impl MemoryController {
         } else {
             self.stats.mem_arrivals += 1;
         }
+        // New work changes the scheduling view: any armed stall is void.
+        self.stall_until = 0;
         self.queues.enqueue(req, decoded, now);
     }
 
@@ -289,14 +327,25 @@ impl MemoryController {
         None
     }
 
-    /// The earliest cycle at or after `now` at which this controller has
-    /// work, or `None` while it is completely idle (no queued requests, no
-    /// in-flight data, no pending switch, no undelivered completions).
-    /// Conservative: an active controller always answers `now` — its
-    /// internal timing (bank busy windows, drains) is too entangled with
-    /// the stats integrals to skip over soundly.
+    /// The earliest cycle at or after `now` at which this controller can
+    /// *do* something, or `None` while it is completely idle (no queued
+    /// requests, no in-flight data, no pending switch, no undelivered
+    /// completions). Inside an armed stall window the answer is the
+    /// window's end (or an earlier completion hand-off) rather than a
+    /// perpetual `now` — so the probe no longer reports "busy forever"
+    /// while a PIM block merely waits out a timing constraint.
     pub fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
-        (!self.is_idle(now)).then_some(now)
+        if self.is_idle(now) {
+            return None;
+        }
+        if now < self.stall_until {
+            let next = self
+                .completions
+                .peek()
+                .map_or(self.stall_until, |c| c.at.min(self.stall_until));
+            return Some(next.max(now));
+        }
+        Some(now)
     }
 
     /// Statistics snapshot.
@@ -309,8 +358,55 @@ impl MemoryController {
         self.channel.stats()
     }
 
-    /// Advances the controller by one DRAM cycle.
+    /// Advances the controller by one DRAM cycle — an O(1) stats replay
+    /// while inside an armed stall window, a full scheduling step
+    /// otherwise.
     pub fn step(&mut self, now: Cycle) {
+        if now < self.stall_until {
+            self.replay_cycle(now);
+        } else {
+            self.step_full(now);
+        }
+    }
+
+    /// Replays one cycle inside an armed stall window. The arming full
+    /// step proved that until `stall_until` no command can issue, the
+    /// policy's decision cannot change, no refresh falls due, and the
+    /// drain/mode state is frozen — so only the per-cycle stats integrals
+    /// advance, exactly as [`MemoryController::step_full`] would have
+    /// advanced them.
+    fn replay_cycle(&mut self, now: Cycle) {
+        // `channel.tick` would be a no-op: stalls are never armed with a
+        // refresh pending and never extend past `next_refresh`.
+        debug_assert!(!self.channel.refresh_pending() && now < self.channel.next_refresh());
+        self.stats.cycles += 1;
+        self.stats.mem_q_occupancy_sum += self.queues.mem_len() as u64;
+        self.stats.pim_q_occupancy_sum += self.queues.pim_len() as u64;
+        while self.stall_busy_ptr < self.stall_busy.len()
+            && self.stall_busy[self.stall_busy_ptr].0 <= now
+        {
+            self.stall_busy_mask &= !self.stall_busy[self.stall_busy_ptr].1;
+            self.stall_busy_ptr += 1;
+        }
+        let busy_banks = u64::from((self.stall_qmask | self.stall_busy_mask).count_ones());
+        if busy_banks > 0 {
+            self.stats.blp_sum += busy_banks;
+            self.stats.active_cycles += 1;
+        }
+        if self.switch.is_some() {
+            self.stats.cycles_draining += 1;
+        } else {
+            match self.mode {
+                Mode::Mem => self.stats.cycles_mem_mode += 1,
+                Mode::Pim => self.stats.cycles_pim_mode += 1,
+            }
+        }
+    }
+
+    /// The full per-cycle scheduling step: drain handling, policy
+    /// consultation, command issue — and, when the cycle went idle, arming
+    /// the stall memo with the earliest cycle anything can change.
+    fn step_full(&mut self, now: Cycle) {
         self.channel.tick(now);
         self.stats.cycles += 1;
         self.stats.mem_q_occupancy_sum += self.queues.mem_len() as u64;
@@ -323,6 +419,7 @@ impl MemoryController {
                 self.finish_switch(sw, now);
             } else {
                 self.stats.cycles_draining += 1;
+                self.arm_drain_stall(now);
                 return; // still draining: no commands issue
             }
         }
@@ -347,22 +444,145 @@ impl MemoryController {
                     self.finish_switch(sw, now);
                 } else {
                     self.stats.cycles_draining += 1;
+                    self.arm_drain_stall(now);
                     return;
                 }
             }
         }
 
         // 3. Issue at most one command in the current mode.
-        match self.mode {
+        let candidate_at = match self.mode {
             Mode::Mem => {
                 self.stats.cycles_mem_mode += 1;
-                self.issue_mem(now);
+                self.issue_mem(now)
             }
             Mode::Pim => {
                 self.stats.cycles_pim_mode += 1;
-                self.issue_pim(now);
+                self.issue_pim(now)
+            }
+        };
+        match candidate_at {
+            // A command issued: the view changed, nothing is provably
+            // stable.
+            None => self.stall_until = now,
+            Some(at) => self.arm_idle_stall(now, at),
+        }
+    }
+
+    /// Arms the stall memo while draining for a mode switch: no command
+    /// issues and the policy is not consulted until all in-flight data
+    /// lands (or a refresh falls due first).
+    fn arm_drain_stall(&mut self, now: Cycle) {
+        if !self.stall_enabled || self.channel.refresh_pending() {
+            self.stall_until = now;
+            return;
+        }
+        let drained = self.channel.busy_until().unwrap_or(now);
+        self.arm_stall(now, drained.min(self.channel.next_refresh()));
+    }
+
+    /// Arms the stall memo after a steady-mode cycle that issued nothing:
+    /// the next full step happens at the earliest of a candidate command
+    /// becoming legal, a self-scheduled policy transition, or a refresh
+    /// falling due. An enqueue invalidates the memo.
+    fn arm_idle_stall(&mut self, now: Cycle, candidate_at: Cycle) {
+        if !self.stall_enabled || self.channel.refresh_pending() {
+            self.stall_until = now;
+            return;
+        }
+        let until = candidate_at
+            .min(self.policy.decision_stable_until(now))
+            .min(self.channel.next_refresh());
+        self.arm_stall(now, until);
+    }
+
+    fn arm_stall(&mut self, now: Cycle, until: Cycle) {
+        self.stall_until = until;
+        if until <= now + 1 {
+            return; // no replayable cycle in the window
+        }
+        // Capture the BLP-mask inputs: queue demand is frozen for the
+        // window, and bank busy bits only expire as time passes.
+        let n = self.channel.num_banks();
+        let mut qmask = self.queues.mem_bank_mask();
+        if self.queues.pim_len() > 0 {
+            qmask |= (1u64 << n) - 1;
+        }
+        self.stall_qmask = qmask;
+        self.stall_busy.clear();
+        self.stall_busy_ptr = 0;
+        self.stall_busy_mask = 0;
+        for b in 0..n {
+            if let Some(at) = self.channel.bank_busy_until(b) {
+                if at > now {
+                    self.stall_busy.push((at, 1 << b));
+                    self.stall_busy_mask |= 1 << b;
+                }
             }
         }
+        self.stall_busy.sort_unstable_by_key(|&(at, _)| at);
+    }
+
+    /// Attempts to replay the whole DRAM-tick span `[first, first+ticks)`
+    /// at once, in O(busy-bit expiries) instead of O(ticks). Succeeds —
+    /// returning `true` with every stats integral advanced exactly as
+    /// per-cycle stepping would have — only when the span lies strictly
+    /// inside an armed stall window, no completion falls due in it (the
+    /// owner must pop completions at their exact tick), and the
+    /// controller cannot go idle mid-span (idle cycles are skipped by the
+    /// owner, not accrued). Returns `false` with no state change
+    /// otherwise.
+    pub fn quiet_replay_span(&mut self, first: Cycle, ticks: u64) -> bool {
+        if ticks == 0 {
+            return true;
+        }
+        let last = first + (ticks - 1);
+        if last >= self.stall_until {
+            return false;
+        }
+        if self.completions.peek().is_some_and(|c| c.at <= last) {
+            return false;
+        }
+        if self.is_idle(last) {
+            // Not idle at `first` but idle by `last`: the per-cycle path
+            // stops accruing stats the moment the controller goes idle.
+            return false;
+        }
+        debug_assert!(!self.channel.refresh_pending() && last < self.channel.next_refresh());
+        self.stats.cycles += ticks;
+        self.stats.mem_q_occupancy_sum += self.queues.mem_len() as u64 * ticks;
+        self.stats.pim_q_occupancy_sum += self.queues.pim_len() as u64 * ticks;
+        if self.switch.is_some() {
+            self.stats.cycles_draining += ticks;
+        } else {
+            match self.mode {
+                Mode::Mem => self.stats.cycles_mem_mode += ticks,
+                Mode::Pim => self.stats.cycles_pim_mode += ticks,
+            }
+        }
+        // The BLP mask is piecewise-constant between busy-bit expiries.
+        let mut t = first;
+        while t <= last {
+            while self.stall_busy_ptr < self.stall_busy.len()
+                && self.stall_busy[self.stall_busy_ptr].0 <= t
+            {
+                self.stall_busy_mask &= !self.stall_busy[self.stall_busy_ptr].1;
+                self.stall_busy_ptr += 1;
+            }
+            let seg_last = if self.stall_busy_ptr < self.stall_busy.len() {
+                (self.stall_busy[self.stall_busy_ptr].0 - 1).min(last)
+            } else {
+                last
+            };
+            let busy_banks = u64::from((self.stall_qmask | self.stall_busy_mask).count_ones());
+            let span = seg_last - t + 1;
+            if busy_banks > 0 {
+                self.stats.blp_sum += busy_banks * span;
+                self.stats.active_cycles += span;
+            }
+            t = seg_last + 1;
+        }
+        true
     }
 
     fn integrate_blp(&mut self, now: Cycle) {
@@ -372,10 +592,7 @@ impl MemoryController {
         // BLP definition the paper uses in Figure 4c. A pending PIM
         // request targets every bank (lock-step execution).
         let n = self.channel.num_banks();
-        let mut mask = 0u64;
-        for q in self.queues.mem() {
-            mask |= 1 << (q.decoded.bank as usize % 64);
-        }
+        let mut mask = self.queues.mem_bank_mask();
         if self.queues.pim_len() > 0 {
             mask |= (1u64 << n) - 1;
         }
@@ -392,6 +609,11 @@ impl MemoryController {
     }
 
     fn refresh_open_rows(&mut self) {
+        let epoch = self.channel.row_epoch();
+        if epoch == self.open_rows_epoch {
+            return;
+        }
+        self.open_rows_epoch = epoch;
         for b in 0..self.channel.num_banks() {
             self.open_rows[b] = self.channel.open_row(b);
         }
@@ -423,9 +645,16 @@ impl MemoryController {
 
     /// MEM-mode issue: walk banks, compute the best (class, age) candidate
     /// action per bank, then issue the globally best action that is legal.
-    fn issue_mem(&mut self, now: Cycle) {
+    ///
+    /// Returns `None` when a command issued, else `Some(c)` where `c` is
+    /// the earliest cycle any current candidate's chosen command becomes
+    /// legal (`Cycle::MAX` with no candidates) — the stall memo's wake-up
+    /// event. At that cycle the rank walk re-runs over the identical
+    /// candidate set and issues exactly what per-cycle stepping would
+    /// have.
+    fn issue_mem(&mut self, now: Cycle) -> Option<Cycle> {
         if self.queues.mem_len() == 0 {
-            return;
+            return Some(Cycle::MAX);
         }
         self.refresh_open_rows();
         let n_banks = self.channel.num_banks();
@@ -468,51 +697,64 @@ impl MemoryController {
                 .filter_map(|(bank, c)| c.map(|(class, age, _, _)| (class, age, bank))),
         );
         order.sort_unstable();
+        let mut earliest = Cycle::MAX;
+        let mut issued = false;
         'banks: for &(_, _, bank) in &order {
             let (_, _, idx, hit) = best[bank].expect("ranked banks have candidates");
             let q = self.queues.mem()[idx];
-            if hit {
+            let cmd = if hit {
                 let closed = self.page_policy == PagePolicy::Closed;
-                let cmd = match (q.req.kind, closed) {
+                match (q.req.kind, closed) {
                     (RequestKind::MemRead, false) => DramCommand::Read { bank },
                     (RequestKind::MemRead, true) => DramCommand::ReadAuto { bank },
                     (RequestKind::MemWrite, false) => DramCommand::Write { bank },
                     (RequestKind::MemWrite, true) => DramCommand::WriteAuto { bank },
                     (RequestKind::Pim(_), _) => unreachable!("PIM in MEM queue"),
-                };
-                if self.channel.can_issue(cmd, now) {
-                    let done = self.channel.issue(cmd, now).expect("column command");
-                    let q = self.queues.remove_mem(idx);
-                    self.note_mem_issued(&q, now);
-                    self.stats
-                        .mem_latency
-                        .record(done.saturating_sub(q.arrived));
-                    self.completions.push(Completion {
-                        req: q.req,
-                        at: done,
-                    });
-                    break 'banks;
                 }
             } else if self.open_rows[bank].is_some() {
-                let cmd = DramCommand::Pre { bank };
-                if self.channel.can_issue(cmd, now) {
-                    self.channel.issue(cmd, now);
-                    break 'banks;
-                }
+                DramCommand::Pre { bank }
             } else {
-                let cmd = DramCommand::Act {
+                DramCommand::Act {
                     bank,
                     row: q.decoded.row,
-                };
-                if self.channel.can_issue(cmd, now) {
-                    self.channel.issue(cmd, now);
-                    self.note_mem_act(idx, bank, q.decoded.row);
-                    break 'banks;
                 }
+            };
+            if self.channel.can_issue(cmd, now) {
+                match cmd {
+                    DramCommand::Act { row, .. } => {
+                        self.channel.issue(cmd, now);
+                        self.note_mem_act(idx, bank, row);
+                    }
+                    DramCommand::Pre { .. } => {
+                        self.channel.issue(cmd, now);
+                    }
+                    _ => {
+                        let done = self.channel.issue(cmd, now).expect("column command");
+                        let q = self.queues.remove_mem(idx);
+                        self.note_mem_issued(&q, now);
+                        self.stats
+                            .mem_latency
+                            .record(done.saturating_sub(q.arrived));
+                        self.completions.push(Completion {
+                            req: q.req,
+                            at: done,
+                        });
+                    }
+                }
+                issued = true;
+                break 'banks;
+            }
+            if let Some(at) = self.channel.earliest_issue(cmd, now) {
+                earliest = earliest.min(at);
             }
         }
         self.scratch_best = best;
         self.scratch_order = order;
+        if issued {
+            None
+        } else {
+            Some(earliest)
+        }
     }
 
     fn note_mem_act(&mut self, idx: usize, bank: usize, row: u32) {
@@ -542,9 +784,13 @@ impl MemoryController {
     }
 
     /// PIM-mode issue: FCFS on the PIM queue; all banks move in lock-step.
-    fn issue_pim(&mut self, now: Cycle) {
+    ///
+    /// Returns `None` when a command issued, else `Some(c)` with the
+    /// earliest cycle the head's next command becomes legal (`Cycle::MAX`
+    /// with an empty queue or a refresh in the way).
+    fn issue_pim(&mut self, now: Cycle) -> Option<Cycle> {
         let Some(head) = self.queues.pim().front().copied() else {
-            return;
+            return Some(Cycle::MAX);
         };
         let cmd = head
             .req
@@ -552,9 +798,7 @@ impl MemoryController {
             .pim()
             .copied()
             .expect("PIM queue holds PIM requests");
-        let n_banks = self.channel.num_banks();
-        let all_open_target = (0..n_banks).all(|b| self.channel.open_row(b) == Some(cmd.row));
-        if all_open_target {
+        if self.channel.all_banks_open_to(cmd.row) {
             let op = DramCommand::PimOp {
                 writes_row: cmd.op == PimOpKind::RfStore,
             };
@@ -582,23 +826,26 @@ impl MemoryController {
                     req: q.req,
                     at: done,
                 });
+                return None;
             }
-            return;
+            return Some(self.channel.earliest_issue(op, now).unwrap_or(Cycle::MAX));
         }
         // Need to (re)open cmd.row on all banks: precharge any bank open to
         // another row, then all-bank activate.
-        let any_open = (0..n_banks).any(|b| self.channel.open_row(b).is_some());
-        if any_open {
+        if self.channel.any_bank_open() {
             let pre = DramCommand::PreAll;
             if self.channel.can_issue(pre, now) {
                 self.channel.issue(pre, now);
+                return None;
             }
-        } else {
-            let act = DramCommand::PimActAll { row: cmd.row };
-            if self.channel.can_issue(act, now) {
-                self.channel.issue(act, now);
-                self.queues.mark_pim_head_opened();
-            }
+            return Some(self.channel.earliest_issue(pre, now).unwrap_or(Cycle::MAX));
         }
+        let act = DramCommand::PimActAll { row: cmd.row };
+        if self.channel.can_issue(act, now) {
+            self.channel.issue(act, now);
+            self.queues.mark_pim_head_opened();
+            return None;
+        }
+        Some(self.channel.earliest_issue(act, now).unwrap_or(Cycle::MAX))
     }
 }

@@ -387,6 +387,14 @@ impl SchedulePolicy for Bliss {
     fn on_pim_issued(&mut self, q: &QueuedRequest, _bypassed_older_mem: bool, _now: Cycle) {
         self.note_served(q.req.app);
     }
+
+    fn decision_stable_until(&self, now: Cycle) -> Cycle {
+        // The blacklist clears at the first stepped cycle past the
+        // interval; decisions may flip there, so the stall memo must hand
+        // control back for a full step at that boundary.
+        let _ = now;
+        self.last_clear.saturating_add(self.clear_interval)
+    }
 }
 
 /// FR-RR-FCFS (Jog et al., GPGPU-7): row hit first, next mode in

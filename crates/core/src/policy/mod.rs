@@ -159,6 +159,25 @@ pub trait SchedulePolicy: std::fmt::Debug + Send {
     fn on_switch_complete(&mut self, to: Mode, now: Cycle) {
         let _ = (to, now);
     }
+
+    /// The last cycle through which this policy's decisions
+    /// ([`SchedulePolicy::desired_mode`], [`SchedulePolicy::mem_class`],
+    /// [`SchedulePolicy::bank_masked`]) are guaranteed unchanged, provided
+    /// the [`PolicyView`] stays constant and none of the `on_*` hooks fire
+    /// in between. The controller's stall memo skips the per-cycle
+    /// `desired_mode` calls inside this window, so implementations whose
+    /// repeated calls have side effects must bound it:
+    ///
+    /// * a purely view-driven policy (the default) returns `Cycle::MAX`;
+    /// * a time-driven policy returns its next self-scheduled transition
+    ///   (BLISS: the next blacklist-clear boundary);
+    /// * a policy whose `desired_mode` is not idempotent under a constant
+    ///   view (SMS advances its RNG per call) returns `now`, disabling the
+    ///   skip entirely.
+    fn decision_stable_until(&self, now: Cycle) -> Cycle {
+        let _ = now;
+        Cycle::MAX
+    }
 }
 
 /// Policy selection plus tuning parameters; buildable into a boxed policy.

@@ -116,6 +116,13 @@ impl SchedulePolicy for Sms {
         next
     }
 
+    fn decision_stable_until(&self, now: Cycle) -> Cycle {
+        // The batch scheduler's RNG advances on every call at a batch
+        // boundary: `desired_mode` is not idempotent, so the controller
+        // must consult it every cycle.
+        now
+    }
+
     fn on_mem_issued(&mut self, _q: &QueuedRequest, _bypassed: bool, _now: Cycle) {
         if self.batch_mode == Some(Mode::Mem) {
             self.in_batch += 1;

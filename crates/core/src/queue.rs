@@ -37,6 +37,12 @@ pub struct McQueues {
     mem_capacity: usize,
     pim_capacity: usize,
     next_age: u64,
+    /// Queued MEM requests per bank (index = `bank % 64`), maintained on
+    /// enqueue/remove so the per-cycle BLP integral never rescans the
+    /// queue.
+    mem_bank_counts: Vec<u16>,
+    /// Bit `b` set iff `mem_bank_counts[b] > 0`.
+    mem_bank_mask: u64,
 }
 
 impl McQueues {
@@ -48,6 +54,8 @@ impl McQueues {
             mem_capacity,
             pim_capacity,
             next_age: 0,
+            mem_bank_counts: vec![0; 64],
+            mem_bank_mask: 0,
         }
     }
 
@@ -80,6 +88,9 @@ impl McQueues {
             self.pim.push_back(q);
         } else {
             assert!(self.mem.len() < self.mem_capacity, "MEM queue overflow");
+            let b = decoded.bank as usize % 64;
+            self.mem_bank_counts[b] += 1;
+            self.mem_bank_mask |= 1 << b;
             self.mem.push(q);
         }
         age
@@ -113,7 +124,25 @@ impl McQueues {
     ///
     /// Panics if `index` is out of bounds.
     pub fn remove_mem(&mut self, index: usize) -> QueuedRequest {
-        self.mem.remove(index)
+        let q = self.mem.remove(index);
+        let b = q.decoded.bank as usize % 64;
+        self.mem_bank_counts[b] -= 1;
+        if self.mem_bank_counts[b] == 0 {
+            self.mem_bank_mask &= !(1 << b);
+        }
+        q
+    }
+
+    /// Bitmask of banks (bit = `bank % 64`) with at least one queued MEM
+    /// request, maintained incrementally on enqueue/remove.
+    pub fn mem_bank_mask(&self) -> u64 {
+        debug_assert_eq!(
+            self.mem_bank_mask,
+            self.mem
+                .iter()
+                .fold(0u64, |m, q| m | 1 << (q.decoded.bank as usize % 64))
+        );
+        self.mem_bank_mask
     }
 
     /// Removes and returns the PIM queue head.

@@ -72,8 +72,9 @@ struct Bank {
     next_pre: Cycle,
     next_col: Cycle,
     /// Completion time of the most recent column access on this bank
-    /// (data available / written). Used for drain detection.
-    busy_until: Cycle,
+    /// (data available / written), or `None` if the bank has never moved
+    /// data. Used for drain detection.
+    busy_until: Option<Cycle>,
 }
 
 impl Bank {
@@ -83,9 +84,32 @@ impl Bank {
             next_act: 0,
             next_pre: 0,
             next_col: 0,
-            busy_until: 0,
+            busy_until: None,
         }
     }
+
+    fn raise_busy(&mut self, completion: Cycle) {
+        self.busy_until = Some(self.busy_until.map_or(completion, |c| c.max(completion)));
+    }
+}
+
+/// Cross-bank aggregates, recomputed after every state-mutating command
+/// (command issue, refresh). Commands are the only events that change bank
+/// state, so refreshing the cache once per command keeps every all-bank
+/// legality check — and [`Channel::earliest_issue`] — O(1) instead of a
+/// 16-bank walk per DRAM tick.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankAgg {
+    /// Number of banks with an open row.
+    open: usize,
+    /// `Some(row)` iff *every* bank is open to the same `row`.
+    uniform_row: Option<u32>,
+    /// `max(next_act)` over all banks.
+    next_act: Cycle,
+    /// `max(next_col)` over all banks.
+    next_col: Cycle,
+    /// `max(next_pre)` over open banks (0 when none are open).
+    next_pre_open: Cycle,
 }
 
 /// Aggregate command counters for one channel.
@@ -139,11 +163,18 @@ pub struct Channel {
     act_ptr: usize,
     /// End of the most recent write burst (tWTR).
     last_write_end: Cycle,
-    /// Cached `max(bank.busy_until)` over all banks. Per-bank `busy_until`
-    /// is only ever raised, so maintaining the running max on the three
-    /// raising command paths keeps this exact — and the quiescence check
-    /// O(1) instead of a bank scan.
-    max_busy_until: Cycle,
+    /// Cached `max(bank.busy_until)` over all banks, `None` while no bank
+    /// has ever moved data. Per-bank `busy_until` is only ever raised, so
+    /// maintaining the running max on the three raising command paths
+    /// keeps this exact — and the quiescence check O(1) instead of a bank
+    /// scan.
+    max_busy_until: Option<Cycle>,
+    /// Cross-bank aggregate cache (see [`BankAgg`]).
+    agg: BankAgg,
+    /// Bumped whenever any bank's row state changes (activate, precharge,
+    /// refresh). Lets callers cache derived row views (the controller's
+    /// `open_rows` scratch) and rebuild them only when this moves.
+    row_epoch: u64,
     /// When the next refresh becomes due (`u64::MAX` when disabled).
     next_refresh: Cycle,
     /// A due refresh blocks new activates until it executes.
@@ -154,7 +185,7 @@ pub struct Channel {
 impl Channel {
     /// Creates a channel with all banks precharged and idle.
     pub fn new(dram: &DramConfig, timing: &DramTiming) -> Self {
-        Channel {
+        let mut ch = Channel {
             timing: timing.clone(),
             banks: (0..dram.banks).map(|_| Bank::new()).collect(),
             banks_per_group: dram.banks / dram.bank_groups,
@@ -165,7 +196,9 @@ impl Channel {
             act_times: [0; 4],
             act_ptr: 0,
             last_write_end: 0,
-            max_busy_until: 0,
+            max_busy_until: None,
+            agg: BankAgg::default(),
+            row_epoch: 0,
             next_refresh: if timing.t_refi > 0 {
                 timing.t_refi
             } else {
@@ -173,7 +206,33 @@ impl Channel {
             },
             refresh_pending: false,
             stats: ChannelStats::default(),
+        };
+        ch.recompute_agg();
+        ch
+    }
+
+    /// Rebuilds the cross-bank aggregate cache. Called once per
+    /// state-mutating event (command issue, refresh execution) — never per
+    /// tick — so steady-state legality checks stay O(1).
+    fn recompute_agg(&mut self) {
+        let mut agg = BankAgg::default();
+        let mut uniform = true;
+        let first_row = self.banks.first().and_then(|b| b.row);
+        for b in &self.banks {
+            if b.row.is_some() {
+                agg.open += 1;
+                agg.next_pre_open = agg.next_pre_open.max(b.next_pre);
+            }
+            uniform &= b.row == first_row;
+            agg.next_act = agg.next_act.max(b.next_act);
+            agg.next_col = agg.next_col.max(b.next_col);
         }
+        agg.uniform_row = if uniform && agg.open == self.banks.len() {
+            first_row
+        } else {
+            None
+        };
+        self.agg = agg;
     }
 
     /// Advances refresh housekeeping; call once per DRAM cycle before
@@ -209,6 +268,26 @@ impl Channel {
         self.stats.refreshes += 1;
         self.refresh_pending = false;
         self.next_refresh = (self.next_refresh + self.timing.t_refi).max(now);
+        self.recompute_agg();
+    }
+
+    /// Whether a due refresh is blocking new activates and column accesses.
+    pub fn refresh_pending(&self) -> bool {
+        self.refresh_pending
+    }
+
+    /// The cycle at which the next refresh becomes due (`Cycle::MAX` when
+    /// refresh is disabled). The controller must take a full step at this
+    /// cycle so [`Channel::tick`] can raise `refresh_pending`.
+    pub fn next_refresh(&self) -> Cycle {
+        self.next_refresh
+    }
+
+    /// Monotone counter of row-state changes (activates, precharges,
+    /// refreshes). Derived row views (the controller's open-row scratch)
+    /// stay valid while this is unchanged.
+    pub fn row_epoch(&self) -> u64 {
+        self.row_epoch
     }
 
     fn faw_ok(&self, now: Cycle) -> bool {
@@ -238,14 +317,22 @@ impl Channel {
     pub fn quiescent(&self, now: Cycle) -> bool {
         debug_assert_eq!(
             self.max_busy_until,
-            self.banks.iter().map(|b| b.busy_until).max().unwrap_or(0)
+            self.banks.iter().filter_map(|b| b.busy_until).max()
         );
-        self.max_busy_until <= now
+        self.max_busy_until.is_none_or(|m| m <= now)
     }
 
-    /// Completion time of the latest in-flight column access across banks.
-    pub fn busy_until(&self) -> Cycle {
+    /// Completion time of the latest in-flight column access across banks,
+    /// or `None` if the channel has never moved data: an all-idle channel
+    /// reports idle, not "busy until cycle 0".
+    pub fn busy_until(&self) -> Option<Cycle> {
         self.max_busy_until
+    }
+
+    /// Completion time of `bank`'s most recent column access, or `None` if
+    /// the bank has never moved data.
+    pub fn bank_busy_until(&self, bank: usize) -> Option<Cycle> {
+        self.banks[bank].busy_until
     }
 
     /// The earliest cycle at or after `now` at which this channel has data
@@ -261,7 +348,18 @@ impl Channel {
     /// Whether `bank` has column data in flight at `now` (used for
     /// bank-level-parallelism accounting).
     pub fn bank_busy(&self, bank: usize, now: Cycle) -> bool {
-        self.banks[bank].busy_until > now
+        self.banks[bank].busy_until.is_some_and(|c| c > now)
+    }
+
+    /// Whether every bank is open to `row` (the PIM lock-step execution
+    /// precondition). O(1) from the aggregate cache.
+    pub fn all_banks_open_to(&self, row: u32) -> bool {
+        self.agg.uniform_row == Some(row)
+    }
+
+    /// Whether any bank has an open row. O(1) from the aggregate cache.
+    pub fn any_bank_open(&self) -> bool {
+        self.agg.open > 0
     }
 
     /// Snapshot of the command counters.
@@ -330,30 +428,114 @@ impl Channel {
             // All-bank activate is a single dedicated PIM-mode command and
             // is exempt from tFAW (which governs per-bank ACT streams).
             DramCommand::PimActAll { .. } => {
-                !self.refresh_pending
-                    && self
-                        .banks
-                        .iter()
-                        .all(|b| b.row.is_none() && now >= b.next_act)
+                !self.refresh_pending && self.agg.open == 0 && now >= self.agg.next_act
             }
-            DramCommand::PreAll => {
-                self.banks.iter().any(|b| b.row.is_some())
-                    && self
-                        .banks
-                        .iter()
-                        .all(|b| b.row.is_none() || now >= b.next_pre)
-            }
+            DramCommand::PreAll => self.agg.open > 0 && now >= self.agg.next_pre_open,
             DramCommand::PimOp { .. } => {
                 !self.refresh_pending
-                    && self
-                        .banks
-                        .iter()
-                        .all(|b| b.row.is_some() && now >= b.next_col)
+                    && self.agg.open == self.banks.len()
+                    && now >= self.agg.next_col
                     && self.ccd_ok(now, usize::MAX)
             }
             DramCommand::ReadAuto { bank } => self.can_issue(DramCommand::Read { bank }, now),
             DramCommand::WriteAuto { bank } => self.can_issue(DramCommand::Write { bank }, now),
         }
+    }
+
+    /// Earliest cycle the last column command's CCD constraint clears for
+    /// a command targeting `group` (`usize::MAX` = all-bank).
+    fn ccd_clear(&self, group: usize) -> Cycle {
+        match self.last_col {
+            None => 0,
+            Some((t, g)) => {
+                let gap = if g == group || g == usize::MAX || group == usize::MAX {
+                    self.timing.t_ccdl
+                } else {
+                    self.timing.t_ccds
+                };
+                t + gap
+            }
+        }
+    }
+
+    /// The exact first cycle `t >= now` at which `cmd` becomes legal given
+    /// the channel's *current* state, or `None` if no such cycle exists
+    /// without an intervening state change (wrong row open/closed state,
+    /// or a pending refresh blocking the command class).
+    ///
+    /// Every timing constraint is of the form `t >= constant`, so the
+    /// answer is the max of the per-constraint release times — this is the
+    /// event the controller's stall memo jumps to. Soundness contract
+    /// (checked by a property test): with no intervening command or
+    /// refresh, `can_issue(cmd, t)` is false for all `t` before the
+    /// returned cycle and true at it.
+    pub fn earliest_issue(&self, cmd: DramCommand, now: Cycle) -> Option<Cycle> {
+        let t = &self.timing;
+        let cmd_bus = self.last_cmd_cycle.map_or(0, |c| c + 1);
+        let earliest = match cmd {
+            DramCommand::Act { bank, .. } => {
+                let b = &self.banks[bank];
+                if self.refresh_pending || b.row.is_some() {
+                    return None;
+                }
+                let faw = if t.t_faw > 0 {
+                    self.act_times[self.act_ptr] + t.t_faw
+                } else {
+                    0
+                };
+                b.next_act.max(self.next_act_any).max(faw)
+            }
+            DramCommand::Pre { bank } => {
+                let b = &self.banks[bank];
+                b.row?;
+                b.next_pre
+            }
+            DramCommand::Read { bank } => {
+                let b = &self.banks[bank];
+                if self.refresh_pending || b.row.is_none() {
+                    return None;
+                }
+                // `data_bus_free <= t + t_cl` releases at data_bus_free - t_cl.
+                b.next_col
+                    .max(self.last_write_end + t.t_wtr)
+                    .max(self.ccd_clear(self.group_of(bank)))
+                    .max(self.data_bus_free.saturating_sub(t.t_cl))
+            }
+            DramCommand::Write { bank } => {
+                let b = &self.banks[bank];
+                if self.refresh_pending || b.row.is_none() {
+                    return None;
+                }
+                b.next_col
+                    .max(self.ccd_clear(self.group_of(bank)))
+                    .max(self.data_bus_free.saturating_sub(t.t_wl))
+            }
+            DramCommand::PimActAll { .. } => {
+                if self.refresh_pending || self.agg.open != 0 {
+                    return None;
+                }
+                self.agg.next_act
+            }
+            DramCommand::PreAll => {
+                if self.agg.open == 0 {
+                    return None;
+                }
+                self.agg.next_pre_open
+            }
+            DramCommand::PimOp { .. } => {
+                if self.refresh_pending || self.agg.open != self.banks.len() {
+                    return None;
+                }
+                self.agg.next_col.max(self.ccd_clear(usize::MAX))
+            }
+            DramCommand::ReadAuto { bank } => {
+                return self.earliest_issue(DramCommand::Read { bank }, now)
+            }
+            DramCommand::WriteAuto { bank } => {
+                return self.earliest_issue(DramCommand::Write { bank }, now)
+            }
+        };
+        Some(earliest.max(cmd_bus).max(now))
     }
 
     /// Issues `cmd` at `now`.
@@ -384,7 +566,7 @@ impl Channel {
         }
         self.last_cmd_cycle = Some(now);
         let t = self.timing.clone();
-        match cmd {
+        let completion = match cmd {
             DramCommand::Act { bank, row } => {
                 self.act_one(bank, row, now);
                 self.record_act(now);
@@ -401,10 +583,10 @@ impl Channel {
                 let completion = now + t.t_cl + t.burst_cycles;
                 let group = self.group_of(bank);
                 let b = &mut self.banks[bank];
-                b.busy_until = completion;
+                b.raise_busy(completion);
                 b.next_pre = b.next_pre.max(now + t.t_rtpl);
-                self.max_busy_until = self.max_busy_until.max(completion);
                 b.next_col = b.next_col.max(now + t.t_ccdl);
+                self.raise_max_busy(completion);
                 self.data_bus_free = completion;
                 self.last_col = Some((now, group));
                 self.stats.reads += 1;
@@ -414,10 +596,10 @@ impl Channel {
                 let completion = now + t.t_wl + t.burst_cycles;
                 let group = self.group_of(bank);
                 let b = &mut self.banks[bank];
-                b.busy_until = completion;
+                b.raise_busy(completion);
                 b.next_pre = b.next_pre.max(completion + t.t_wr);
-                self.max_busy_until = self.max_busy_until.max(completion);
                 b.next_col = b.next_col.max(now + t.t_ccdl);
+                self.raise_max_busy(completion);
                 self.data_bus_free = completion;
                 self.last_write_end = self.last_write_end.max(completion);
                 self.last_col = Some((now, group));
@@ -455,7 +637,7 @@ impl Channel {
                     now + t.t_cl
                 };
                 for b in &mut self.banks {
-                    b.busy_until = b.busy_until.max(completion);
+                    b.raise_busy(completion);
                     b.next_col = b.next_col.max(now + t.t_ccdl);
                     if writes_row {
                         b.next_pre = b.next_pre.max(completion + t.t_wr);
@@ -463,12 +645,21 @@ impl Channel {
                         b.next_pre = b.next_pre.max(now + t.t_rtpl);
                     }
                 }
-                self.max_busy_until = self.max_busy_until.max(completion);
+                self.raise_max_busy(completion);
                 self.last_col = Some((now, usize::MAX));
                 self.stats.pim_ops += 1;
                 Some(completion)
             }
-        }
+        };
+        self.recompute_agg();
+        completion
+    }
+
+    fn raise_max_busy(&mut self, completion: Cycle) {
+        self.max_busy_until = Some(
+            self.max_busy_until
+                .map_or(completion, |m| m.max(completion)),
+        );
     }
 
     fn act_one(&mut self, bank: usize, row: u32, now: Cycle) {
@@ -477,6 +668,7 @@ impl Channel {
         b.row = Some(row);
         b.next_col = now + t.t_rcd;
         b.next_pre = now + t.t_ras;
+        self.row_epoch += 1;
     }
 
     /// Closes `bank` at the earliest legal precharge point following the
@@ -488,7 +680,9 @@ impl Channel {
         let pre_at = b.next_pre;
         b.row = None;
         b.next_act = b.next_act.max(pre_at + t_rp);
+        self.row_epoch += 1;
         self.stats.pres += 1;
+        self.recompute_agg();
     }
 
     fn pre_one(&mut self, bank: usize, now: Cycle) {
@@ -496,6 +690,7 @@ impl Channel {
         let b = &mut self.banks[bank];
         b.row = None;
         b.next_act = now + t.t_rp;
+        self.row_epoch += 1;
     }
 }
 
@@ -781,5 +976,31 @@ mod tests {
     fn illegal_issue_panics() {
         let mut ch = channel();
         let _ = ch.issue(DramCommand::Read { bank: 0 }, 0);
+    }
+
+    /// Regression: an all-idle channel must aggregate its busy time to
+    /// `None`, not "busy until cycle 0" — the drain detector treated a
+    /// never-used channel as having a burst ending at 0, which is
+    /// indistinguishable from real work completing at cycle 0.
+    #[test]
+    fn busy_aggregation_reports_idle_as_none() {
+        let mut ch = channel();
+        assert_eq!(ch.busy_until(), None, "fresh channel has no busy time");
+        for b in 0..ch.num_banks() {
+            assert_eq!(ch.bank_busy_until(b), None);
+        }
+        // Row commands carry no data: still nothing to aggregate.
+        ch.issue(DramCommand::Act { bank: 0, row: 1 }, 0);
+        assert_eq!(ch.busy_until(), None, "ACT must not fabricate busy time");
+        // A column access raises exactly the accessed bank.
+        let (_, done) = issue_when_ready(&mut ch, DramCommand::Read { bank: 0 }, 12);
+        let done = done.unwrap();
+        assert_eq!(ch.busy_until(), Some(done));
+        assert_eq!(ch.bank_busy_until(0), Some(done));
+        assert_eq!(ch.bank_busy_until(1), None, "untouched bank stays None");
+        // The aggregate is a high-water mark: it reports the completion
+        // time even after it passes (quiescent() is the time-aware check).
+        assert_eq!(ch.busy_until(), Some(done));
+        assert!(ch.quiescent(done));
     }
 }

@@ -96,6 +96,13 @@ pub struct Crossbar {
     /// Running count of buffered flits across all inputs, maintained on
     /// inject/eject so the per-cycle empty check is O(1).
     occupancy: usize,
+    /// Bit `i` set iff input `i` buffers at least one flit, as 64-bit
+    /// words. The proposal gather walks set bits instead of scanning
+    /// every input port.
+    busy_in: Vec<u64>,
+    /// Words per input-set bitmask (`busy_in.len()`, and the stride of
+    /// each output's stripe in the request scratch).
+    in_words: usize,
     /// Arbitration scratch, reused across [`Crossbar::step`] calls so the
     /// per-cycle hot path allocates nothing.
     scratch: StepScratch,
@@ -107,7 +114,42 @@ struct StepScratch {
     input_done: Vec<bool>,
     output_done: Vec<bool>,
     proposal: Vec<Option<VcIndex>>,
-    requests_per_output: Vec<Vec<usize>>,
+    /// Per-output requester set: output `o` owns the word stripe
+    /// `[o * in_words, (o + 1) * in_words)`, bit `i` = input `i` proposed
+    /// its head flit to `o` this iteration.
+    request_words: Vec<u64>,
+}
+
+/// First set bit of `stripe` at or after `start`, wrapping below `start`
+/// if none — the rotating-priority search order of an iSlip grant
+/// pointer, word-at-a-time.
+fn first_set_from(stripe: &[u64], start: usize) -> Option<usize> {
+    let words = stripe.len();
+    let (sw, sb) = (start / 64, start % 64);
+    if sw < words {
+        let masked = stripe[sw] & (!0u64 << sb);
+        if masked != 0 {
+            return Some(sw * 64 + masked.trailing_zeros() as usize);
+        }
+        for (w, &bits) in stripe.iter().enumerate().skip(sw + 1) {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+        }
+    }
+    // Wrap: bits strictly below `start`.
+    for (w, &bits) in stripe.iter().enumerate().take(sw.min(words)) {
+        if bits != 0 {
+            return Some(w * 64 + bits.trailing_zeros() as usize);
+        }
+    }
+    if sw < words && sb > 0 {
+        let masked = stripe[sw] & !(!0u64 << sb);
+        if masked != 0 {
+            return Some(sw * 64 + masked.trailing_zeros() as usize);
+        }
+    }
+    None
 }
 
 impl Crossbar {
@@ -124,6 +166,7 @@ impl Crossbar {
         let vcs = vc_mode.vc_count();
         let per_vc = buffer_entries / vcs;
         assert!(per_vc > 0, "buffer_entries must cover every VC");
+        let in_words = n_in.div_ceil(64);
         Crossbar {
             inputs: (0..n_in)
                 .map(|_| InputPort {
@@ -138,11 +181,13 @@ impl Crossbar {
             iterations: 1,
             stats: CrossbarStats::default(),
             occupancy: 0,
+            busy_in: vec![0; in_words],
+            in_words,
             scratch: StepScratch {
                 input_done: vec![false; n_in],
                 output_done: vec![false; n_out],
                 proposal: vec![None; n_in],
-                requests_per_output: vec![Vec::new(); n_out],
+                request_words: vec![0; n_out * in_words],
             },
         }
     }
@@ -204,6 +249,7 @@ impl Crossbar {
             return Err(req);
         }
         p.vcs[vc].push_back(Flit { req, dest });
+        self.busy_in[input / 64] |= 1 << (input % 64);
         self.occupancy += 1;
         self.stats.injected += 1;
         Ok(())
@@ -288,91 +334,93 @@ impl Crossbar {
         output_done.clear();
         output_done.resize(self.n_out, false);
         scratch.proposal.resize(n_in, None);
-        scratch
-            .requests_per_output
-            .resize_with(self.n_out, Vec::new);
+        let in_words = self.in_words;
+        scratch.request_words.resize(self.n_out * in_words, 0);
         for _iter in 0..self.iterations {
             // Gather one proposal per ungranted input toward an
             // ungranted output: the VC round-robin choice first, falling
             // back to the other VC if its head targets a free output.
+            // Only inputs with buffered flits (the `busy_in` set) are
+            // visited, in the same ascending order as the old full scan.
             let proposal = &mut scratch.proposal;
-            let requests_per_output = &mut scratch.requests_per_output;
+            let request_words = &mut scratch.request_words;
             proposal.fill(None);
-            for r in requests_per_output.iter_mut() {
-                r.clear();
-            }
-            for i in 0..n_in {
-                if input_done[i] {
-                    continue;
-                }
-                let preferred = self.propose_vc(i);
-                let Some(first) = preferred else {
-                    continue;
-                };
-                let n_vcs = self.inputs[i].vcs.len();
-                // The preferred VC, then any other nonempty VC.
-                for off in 0..n_vcs {
-                    let vc = if off == 0 {
-                        first
-                    } else {
-                        let other = (first + off) % n_vcs;
-                        if self.inputs[i].vcs[other].is_empty() {
-                            continue;
-                        }
-                        other
+            request_words.fill(0);
+            let mut any_requests = false;
+            for (wi, &word) in self.busy_in.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let i = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if input_done[i] {
+                        continue;
+                    }
+                    let Some(first) = self.propose_vc(i) else {
+                        continue;
                     };
-                    let dest = self.inputs[i].vcs[vc]
-                        .front()
-                        .expect("candidate VC must be nonempty")
-                        .dest;
-                    if !output_done[dest] {
-                        proposal[i] = Some(vc);
-                        requests_per_output[dest].push(i);
-                        break;
+                    let n_vcs = self.inputs[i].vcs.len();
+                    // The preferred VC, then any other nonempty VC.
+                    for off in 0..n_vcs {
+                        let vc = if off == 0 {
+                            first
+                        } else {
+                            let other = (first + off) % n_vcs;
+                            if self.inputs[i].vcs[other].is_empty() {
+                                continue;
+                            }
+                            other
+                        };
+                        let dest = self.inputs[i].vcs[vc]
+                            .front()
+                            .expect("candidate VC must be nonempty")
+                            .dest;
+                        if !output_done[dest] {
+                            proposal[i] = Some(vc);
+                            request_words[dest * in_words + i / 64] |= 1 << (i % 64);
+                            any_requests = true;
+                            break;
+                        }
                     }
                 }
             }
-            if requests_per_output.iter().all(Vec::is_empty) {
+            if !any_requests {
                 break;
             }
             // Output arbitration: rotating priority over inputs, advanced
-            // only on a successful grant.
+            // only on a successful grant. The requester set is a bitmask,
+            // so the rotating search is find-first-set instead of a
+            // membership scan.
             for out in 0..self.n_out {
                 if output_done[out] {
                     continue;
                 }
-                let requesters = &requests_per_output[out];
-                if requesters.is_empty() {
+                let stripe = &request_words[out * in_words..(out + 1) * in_words];
+                let Some(cand) = first_set_from(stripe, self.grant_ptr[out]) else {
                     continue;
-                }
-                let start = self.grant_ptr[out];
-                for off in 0..n_in {
-                    let cand = (start + off) % n_in;
-                    if !requesters.contains(&cand) {
-                        continue;
+                };
+                let vc = proposal[cand].expect("granted input must have proposed");
+                let flit = *self.inputs[cand].vcs[vc]
+                    .front()
+                    .expect("candidate VC must be nonempty");
+                debug_assert_eq!(flit.dest, out);
+                if eject(out, vc, &flit.req) {
+                    self.inputs[cand].vcs[vc].pop_front();
+                    if self.inputs[cand].occupancy() == 0 {
+                        self.busy_in[cand / 64] &= !(1 << (cand % 64));
                     }
-                    let vc = proposal[cand].expect("granted input must have proposed");
-                    let flit = *self.inputs[cand].vcs[vc]
-                        .front()
-                        .expect("candidate VC must be nonempty");
-                    debug_assert_eq!(flit.dest, out);
-                    if eject(out, vc, &flit.req) {
-                        self.inputs[cand].vcs[vc].pop_front();
-                        self.occupancy -= 1;
-                        self.inputs[cand].last_vc = vc;
-                        self.grant_ptr[out] = (cand + 1) % n_in;
-                        self.stats.ejected += 1;
-                        input_done[cand] = true;
-                        output_done[out] = true;
-                    } else {
-                        self.stats.eject_stalls += 1;
-                        // Backpressured output: no point retrying it this
-                        // cycle.
-                        output_done[out] = true;
-                    }
-                    // One grant attempt per output per iteration.
-                    break;
+                    self.occupancy -= 1;
+                    self.inputs[cand].last_vc = vc;
+                    self.grant_ptr[out] = (cand + 1) % n_in;
+                    self.stats.ejected += 1;
+                    input_done[cand] = true;
+                    output_done[out] = true;
+                } else {
+                    self.stats.eject_stalls += 1;
+                    // Backpressured output: no point retrying it this
+                    // cycle.
+                    output_done[out] = true;
                 }
+                // One grant attempt per output per iteration.
             }
         }
         self.scratch = scratch;

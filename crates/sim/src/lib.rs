@@ -33,5 +33,6 @@ pub mod runner;
 pub mod system;
 
 pub use partition::{Partition, PartitionStats};
+pub use pimsim_gpu::KernelModel;
 pub use runner::{CoexecOutcome, CollabOutcome, Runner, SoloOutcome};
-pub use system::{CycleBudgetExceeded, MountedKernel, Simulator};
+pub use system::{CycleBudgetExceeded, MountedKernel, Simulator, StageProfile};

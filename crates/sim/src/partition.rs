@@ -393,12 +393,46 @@ impl Partition {
         }
     }
 
+    /// Steps `ticks` DRAM cycles starting at `first` — replaying the
+    /// whole span in O(1) through the controller's stall memo when
+    /// nothing else in the partition needs per-tick servicing, else
+    /// falling back to per-tick [`Partition::step_dram`].
+    ///
+    /// The gate is exact: with the L2→DRAM port empty there is nothing to
+    /// ingest, and [`MemoryController::quiet_replay_span`] itself refuses
+    /// when a completion falls due inside the span (per-tick stepping
+    /// would pop it at its exact cycle) or when the controller could go
+    /// idle mid-span.
+    pub fn step_dram_span(&mut self, first: Cycle, ticks: u64, mapper: &AddressMapper) {
+        if ticks == 0 {
+            return;
+        }
+        if self.to_dram.is_empty() && self.mc.quiet_replay_span(first, ticks) {
+            return;
+        }
+        for t in 0..ticks {
+            self.step_dram(first + t, mapper);
+        }
+    }
+
     /// The earliest DRAM cycle at or after `dram_now` at which this
     /// partition has work, or `None` while it holds none anywhere
-    /// (staging ports, L2 pipeline, controller, reply/ack wires).
-    /// Conservative: an active partition always answers `dram_now`.
+    /// (staging ports, L2 pipeline, controller, reply/ack wires). When
+    /// the controller is the only busy piece, its answer (which can be a
+    /// future cycle inside a stall window) passes through; otherwise an
+    /// active partition answers `dram_now`.
     pub fn next_activity_cycle(&self, dram_now: Cycle) -> Option<Cycle> {
-        (!self.is_idle(dram_now)).then_some(dram_now)
+        if self.ingress.is_empty()
+            && self.to_dram.is_empty()
+            && self.l2_delay.is_empty()
+            && self.pending_fills.is_empty()
+            && self.pending_writebacks.is_empty()
+            && self.reply.is_empty()
+            && self.acks.is_empty()
+        {
+            return self.mc.next_activity_cycle(dram_now);
+        }
+        Some(dram_now)
     }
 
     /// Whether the partition holds no work at all.

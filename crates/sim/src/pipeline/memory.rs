@@ -174,9 +174,7 @@ impl MemoryStage {
                 }
                 let p = slot.as_deref_mut().expect("partition in slot");
                 p.step_l2(now);
-                for t in 0..ticks {
-                    p.step_dram(first_dram + t, mapper);
-                }
+                p.step_dram_span(first_dram, ticks, mapper);
             }
             return;
         }
@@ -190,9 +188,7 @@ impl MemoryStage {
             let mapper = Arc::clone(mapper);
             jobs.push(Box::new(move || {
                 p.step_l2(now);
-                for t in 0..ticks {
-                    p.step_dram(first_dram + t, &mapper);
-                }
+                p.step_dram_span(first_dram, ticks, &mapper);
                 bin.lock().expect("partition bin poisoned").push((c, p));
             }));
         }

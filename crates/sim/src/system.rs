@@ -13,6 +13,7 @@
 //! arithmetic ([`SystemConfig::dram_clock_ratio`]).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use pimsim_dram::AddressMapper;
 use pimsim_gpu::KernelModel;
@@ -25,6 +26,53 @@ use crate::pipeline::{
 };
 
 pub use crate::pipeline::{CycleBudgetExceeded, MountedKernel};
+
+/// Cumulative wall-clock time per pipeline stage, gathered while stage
+/// profiling is on (see [`Simulator::set_stage_profiling`]). Lets the
+/// hot-loop benchmark report where a run's wall time actually goes
+/// without an external profiler.
+///
+/// Only stepped cycles are timed; fast-forward jumps cost no stage time
+/// and are excluded.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageProfile {
+    /// SM issue stage.
+    pub issue_ns: u64,
+    /// Request crossbar (injection, arbitration, ejection).
+    pub request_net_ns: u64,
+    /// Memory stage: L2 front halves plus all DRAM ticks of the cycle.
+    pub memory_ns: u64,
+    /// Reply crossbar.
+    pub reply_net_ns: u64,
+    /// Completion bookkeeping: PIM acks, reply retirement, kernel
+    /// restart checks.
+    pub completion_ns: u64,
+    /// GPU cycles actually stepped while profiling (skipped spans are
+    /// not counted).
+    pub stepped_cycles: u64,
+}
+
+impl StageProfile {
+    /// Total time across all five stages.
+    pub fn total_ns(&self) -> u64 {
+        self.issue_ns
+            + self.request_net_ns
+            + self.memory_ns
+            + self.reply_net_ns
+            + self.completion_ns
+    }
+
+    /// `(name, ns)` pairs in pipeline order, for reporting.
+    pub fn stages(&self) -> [(&'static str, u64); 5] {
+        [
+            ("issue", self.issue_ns),
+            ("request_net", self.request_net_ns),
+            ("memory", self.memory_ns),
+            ("reply_net", self.reply_net_ns),
+            ("completion", self.completion_ns),
+        ]
+    }
+}
 
 /// The full-system simulator.
 ///
@@ -61,6 +109,9 @@ pub struct Simulator {
     skips: u64,
     /// GPU cycles covered by those jumps (not stepped one by one).
     skipped_cycles: u64,
+    /// Per-stage wall-time accumulators; `None` (the default) keeps the
+    /// hot loop free of timer reads.
+    profile: Option<Box<StageProfile>>,
 }
 
 impl Simulator {
@@ -88,8 +139,38 @@ impl Simulator {
             fast_forward: true,
             skips: 0,
             skipped_cycles: 0,
+            profile: None,
             mapper,
             cfg,
+        }
+    }
+
+    /// Enables or disables per-stage wall-time profiling (off by
+    /// default). Enabling resets the accumulators. Profiling reads the
+    /// monotonic clock several times per stepped cycle, so keep it off
+    /// for throughput measurements and use a dedicated profiled pass.
+    pub fn set_stage_profiling(&mut self, on: bool) {
+        self.profile = on.then(Box::default);
+    }
+
+    /// The accumulated stage profile, if profiling is on.
+    pub fn stage_profile(&self) -> Option<&StageProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Stamps the time since `*mark` into the field `sel` picks, and
+    /// advances the mark. No-op (two `None` checks) when profiling is
+    /// off.
+    #[inline]
+    fn lap(
+        mark: &mut Option<Instant>,
+        prof: &mut Option<Box<StageProfile>>,
+        sel: impl FnOnce(&mut StageProfile) -> &mut u64,
+    ) {
+        if let (Some(t), Some(p)) = (mark.as_mut(), prof.as_mut()) {
+            let now = Instant::now();
+            *sel(p) += u64::try_from(now.duration_since(*t).as_nanos()).unwrap_or(u64::MAX);
+            *t = now;
         }
     }
 
@@ -200,6 +281,8 @@ impl Simulator {
     /// reply completions → kernel bookkeeping.
     pub fn step(&mut self) {
         let now = self.clock.gpu_now();
+        let mut prof = self.profile.take();
+        let mut mark = prof.as_ref().map(|_| Instant::now());
 
         // 1. SM issue stage.
         self.issue.step(
@@ -211,9 +294,11 @@ impl Simulator {
                 mapper: self.mapper.as_ref(),
             },
         );
+        Self::lap(&mut mark, &mut prof, |p| &mut p.issue_ns);
 
         // 2. Request network ejects into partition ingress ports.
         self.request_net.step(now, &mut self.memory);
+        Self::lap(&mut mark, &mut prof, |p| &mut p.request_net_ns);
 
         // 3+4. The memory stage's whole cycle: L2 front halves (GPU
         // clock) plus every pending DRAM tick (exact integer rational
@@ -223,10 +308,12 @@ impl Simulator {
         let (first_dram, dram_ticks) = self.clock.take_dram_span();
         self.memory
             .step_cycle_all(now, first_dram, dram_ticks, &self.mapper);
+        Self::lap(&mut mark, &mut prof, |p| &mut p.memory_ns);
 
         // 5. PIM acks (credit return, out-of-band).
         self.completion
             .collect_acks(&mut self.memory, &mut self.kernels, &mut self.issue, now);
+        Self::lap(&mut mark, &mut prof, |p| &mut p.completion_ns);
 
         // 6. Reply network: inject from partitions, deliver to SMs.
         let mut delivered = self.completion.begin_replies();
@@ -237,13 +324,19 @@ impl Simulator {
                 delivered: &mut delivered,
             },
         );
+        Self::lap(&mut mark, &mut prof, |p| &mut p.reply_net_ns);
         self.completion
             .finish_replies(delivered, &mut self.kernels, &mut self.issue, now);
 
         // 7. Kernel completion / restart bookkeeping.
         check_kernel_completion(&mut self.kernels, now);
+        Self::lap(&mut mark, &mut prof, |p| &mut p.completion_ns);
 
         self.clock.finish_gpu_cycle();
+        if let Some(p) = prof.as_mut() {
+            p.stepped_cycles += 1;
+        }
+        self.profile = prof;
     }
 
     /// Attempts to jump the clocks over a provably idle span, stopping at

@@ -16,3 +16,11 @@ cargo clippy --all-targets --workspace -- -D warnings
 # serial and a multi-threaded pool width.
 PIMSIM_THREADS=1 cargo test -q --release --test golden_pipeline --test parallel_equivalence
 PIMSIM_THREADS=4 cargo test -q --release --test golden_pipeline --test parallel_equivalence
+
+# Hot-loop smoke (DESIGN.md §4g): one rep of every scenario, with a
+# throughput floor an order of magnitude below the slowest recorded rate
+# in BENCH_hotloop.json — it trips on asymptotic regressions (a per-tick
+# scan creeping back into the busy path), not machine noise. The smoke
+# writes no JSON so the committed best-of-3 numbers are preserved.
+HOTLOOP_REPS=1 HOTLOOP_FLOOR=20000 HOTLOOP_OUT="" \
+  cargo run -q --release -p pimsim-bench --bin hotloop
