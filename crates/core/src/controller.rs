@@ -7,7 +7,7 @@
 //! policy's `(class, age)` priority over legal candidates. PIM requests are
 //! always serviced FCFS (queue order) for correctness.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use pimsim_dram::{Channel, DramCommand, PimEngine};
 use pimsim_stats::Histogram;
@@ -166,6 +166,49 @@ impl pimsim_stats::Mergeable for McStats {
     }
 }
 
+/// How the controller's cycles were serviced: full scheduling steps,
+/// O(1) stall-memo replays, or closed-form burst-plan retirement
+/// (DESIGN.md §4h). Kept outside [`McStats`] on purpose — the
+/// fast/oracle equivalence tests compare `McStats` bit-for-bit, and the
+/// step mix is exactly what is *allowed* to differ between the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepMix {
+    /// Cycles serviced by a full scheduling step.
+    pub full_steps: u64,
+    /// Cycles replayed by the stall memo (per-tick and bulk spans).
+    pub memo_replayed: u64,
+    /// Cycles retired inside a burst-plan window.
+    pub burst_retired: u64,
+    /// Armed stall windows voided by an enqueue before they elapsed.
+    pub memo_invalidations: u64,
+    /// Burst plans created. Plans are never invalidated: the policy's
+    /// `stable_pim_run` guarantee is unconditional and the refresh
+    /// horizon is folded in at planning time.
+    pub bursts_planned: u64,
+    /// PIM ops retired through burst plans.
+    pub burst_ops: u64,
+}
+
+impl StepMix {
+    /// Fraction of serviced cycles retired by burst plans, if any cycle
+    /// was serviced.
+    pub fn burst_hit_rate(&self) -> Option<f64> {
+        let total = self.full_steps + self.memo_replayed + self.burst_retired;
+        (total > 0).then(|| self.burst_retired as f64 / total as f64)
+    }
+}
+
+impl pimsim_stats::Mergeable for StepMix {
+    fn merge_from(&mut self, o: &Self) {
+        self.full_steps += o.full_steps;
+        self.memo_replayed += o.memo_replayed;
+        self.burst_retired += o.burst_retired;
+        self.memo_invalidations += o.memo_invalidations;
+        self.bursts_planned += o.bursts_planned;
+        self.burst_ops += o.burst_ops;
+    }
+}
+
 /// One channel's memory controller.
 ///
 /// # Example
@@ -216,9 +259,41 @@ pub struct MemoryController {
     /// Oracle knob: `false` forces a full step every cycle (what the
     /// stall-memo equivalence property test compares against).
     stall_enabled: bool,
+    /// Burst plan (DESIGN.md §4h): cycles strictly before this are
+    /// serviced by [`MemoryController::plan_replay_cycle`] — the plan's
+    /// issue cycles were computed analytically at creation, and each op's
+    /// observable effects fire at its own issue tick without any
+    /// scheduling work. `0` means no plan is live. Unlike the stall memo,
+    /// a plan survives enqueues: the policy's `stable_pim_run` guarantee
+    /// is unconditional.
+    plan_until: Cycle,
+    /// The plan's creation cycle (= the first op's issue cycle).
+    plan_first: Cycle,
+    /// Issue stride inside the plan (`max(tCCDl, 1)`).
+    plan_stride: Cycle,
+    /// Planned ops not yet virtually issued. Eagerly-popped ops still
+    /// occupy their queue slots from the outside world's point of view
+    /// until their analytic issue cycle passes, so `can_accept`,
+    /// `pim_q_len`, and the occupancy integral add this back.
+    plan_reserved: usize,
+    /// Oracle knob for the burst plan, mirroring `stall_enabled`.
+    burst_enabled: bool,
+    /// Scratch for [`MemoryController::retire_burst`]: per-op
+    /// `writes_row` flags, reused across plans.
+    burst_writes: Vec<bool>,
+    /// Scratch for [`MemoryController::retire_burst`]: per-op completion
+    /// cycles from the channel's bulk issue.
+    burst_completions: Vec<Cycle>,
+    /// The plan's not-yet-issued ops, front = next to issue: the popped
+    /// request, its data-completion cycle, and its frozen bypass flag.
+    /// Per-op accounting (stats, policy hook, engine op, completion
+    /// hand-off) runs at each op's analytic issue cycle, so a stats
+    /// snapshot taken mid-plan is bit-identical to per-cycle stepping.
+    plan_ops: VecDeque<(QueuedRequest, Cycle, bool)>,
     /// `channel.row_epoch()` at the last `open_rows` rebuild; the scratch
     /// view is only rebuilt when the channel's row state actually moved.
     open_rows_epoch: u64,
+    mix: StepMix,
     stats: McStats,
 }
 
@@ -246,7 +321,16 @@ impl MemoryController {
             stall_busy_ptr: 0,
             stall_busy_mask: 0,
             stall_enabled: true,
+            plan_until: 0,
+            plan_first: 0,
+            plan_stride: 1,
+            plan_reserved: 0,
+            burst_enabled: true,
+            burst_writes: Vec::new(),
+            burst_completions: Vec::new(),
+            plan_ops: VecDeque::new(),
             open_rows_epoch: u64::MAX,
+            mix: StepMix::default(),
             stats: McStats::default(),
         }
     }
@@ -259,6 +343,29 @@ impl MemoryController {
         self.stall_until = 0;
     }
 
+    /// Disables (or re-enables) closed-form burst retirement; with it off
+    /// every PIM op issues through the per-cycle path — the brute-force
+    /// oracle the burst equivalence property test compares against. Call
+    /// before stepping: a live plan cannot be un-retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a burst plan is currently live.
+    pub fn set_burst_enabled(&mut self, enabled: bool) {
+        assert!(
+            self.plan_reserved == 0,
+            "cannot toggle burst retirement mid-plan"
+        );
+        self.burst_enabled = enabled;
+    }
+
+    /// How this controller's cycles were serviced (full steps vs memo
+    /// replays vs burst retirement) — observability only, never part of
+    /// the fast/oracle equivalence surface.
+    pub fn step_mix(&self) -> StepMix {
+        self.mix
+    }
+
     /// Current servicing mode.
     pub fn mode(&self) -> Mode {
         self.mode
@@ -269,9 +376,17 @@ impl MemoryController {
         self.policy.name()
     }
 
-    /// Whether a request of the given kind can be accepted.
+    /// Whether a request of the given kind can be accepted. Ops a burst
+    /// plan retired eagerly still occupy their PIM-queue slots until
+    /// their analytic issue cycles pass, so arrival pacing — and with it
+    /// every downstream age and timestamp — matches per-cycle stepping
+    /// exactly.
     pub fn can_accept(&self, is_pim: bool) -> bool {
-        self.queues.can_accept(is_pim)
+        if is_pim {
+            self.queues.pim_len() + self.plan_reserved < self.queues.pim_capacity()
+        } else {
+            self.queues.can_accept(false)
+        }
     }
 
     /// Queued MEM requests.
@@ -279,9 +394,10 @@ impl MemoryController {
         self.queues.mem_len()
     }
 
-    /// Queued PIM requests.
+    /// Queued PIM requests (including a live burst plan's not-yet-issued
+    /// reservations; see [`MemoryController::can_accept`]).
     pub fn pim_q_len(&self) -> usize {
-        self.queues.pim_len()
+        self.queues.pim_len() + self.plan_reserved
     }
 
     /// Accepts a request.
@@ -296,6 +412,11 @@ impl MemoryController {
             self.stats.mem_arrivals += 1;
         }
         // New work changes the scheduling view: any armed stall is void.
+        // A live burst plan, by contrast, survives: the policy's
+        // `stable_pim_run` guarantee is unconditional over arrivals.
+        if now < self.stall_until {
+            self.mix.memo_invalidations += 1;
+        }
         self.stall_until = 0;
         self.queues.enqueue(req, decoded, now);
     }
@@ -338,6 +459,11 @@ impl MemoryController {
         if self.is_idle(now) {
             return None;
         }
+        if now < self.plan_until {
+            // Plan ticks need per-tick service: a completion falls due
+            // roughly every issue stride, and the virtual queue drains.
+            return Some(now);
+        }
         if now < self.stall_until {
             let next = self
                 .completions
@@ -358,14 +484,46 @@ impl MemoryController {
         self.channel.stats()
     }
 
-    /// Advances the controller by one DRAM cycle — an O(1) stats replay
-    /// while inside an armed stall window, a full scheduling step
-    /// otherwise.
+    /// Advances the controller by one DRAM cycle — an O(1) burst-plan
+    /// replay inside a live plan window, an O(1) stats replay inside an
+    /// armed stall window, a full scheduling step otherwise.
     pub fn step(&mut self, now: Cycle) {
-        if now < self.stall_until {
+        if now < self.plan_until {
+            self.mix.burst_retired += 1;
+            self.plan_replay_cycle(now);
+        } else if now < self.stall_until {
+            self.mix.memo_replayed += 1;
             self.replay_cycle(now);
         } else {
+            self.mix.full_steps += 1;
             self.step_full(now);
+        }
+    }
+
+    /// Replays one cycle inside a live burst plan in O(1): the per-cycle
+    /// stats integrals advance exactly as [`MemoryController::step_full`]
+    /// would have advanced them, and on the plan's issue-stride ticks the
+    /// next planned op performs its observable issue effects
+    /// ([`MemoryController::issue_planned_op`]) — no scheduling decision,
+    /// no queue scan, no channel legality check.
+    fn plan_replay_cycle(&mut self, now: Cycle) {
+        // `channel.tick` would be a no-op: plans never extend to
+        // `next_refresh` and are never created with a refresh pending.
+        debug_assert!(!self.channel.refresh_pending() && now < self.channel.next_refresh());
+        self.stats.cycles += 1;
+        self.stats.mem_q_occupancy_sum += self.queues.mem_len() as u64;
+        // Occupancy samples before this cycle's issue, like `step_full`.
+        self.stats.pim_q_occupancy_sum += (self.queues.pim_len() + self.plan_reserved) as u64;
+        // Virtual PIM demand covers every bank and each op's data is in
+        // flight past the window end, so the BLP mask is full throughout.
+        self.stats.blp_sum += self.channel.num_banks() as u64;
+        self.stats.active_cycles += 1;
+        debug_assert!(self.switch.is_none());
+        self.stats.cycles_pim_mode += 1;
+        if (now - self.plan_first).is_multiple_of(self.plan_stride) {
+            debug_assert!(self.plan_reserved > 0, "plan window outlived its ops");
+            self.plan_reserved -= 1;
+            self.issue_planned_op(now);
         }
     }
 
@@ -536,6 +694,11 @@ impl MemoryController {
         if ticks == 0 {
             return true;
         }
+        if first < self.plan_until {
+            // Burst-plan ticks drain the virtual queue one op per stride;
+            // they must be stepped individually.
+            return false;
+        }
         let last = first + (ticks - 1);
         if last >= self.stall_until {
             return false;
@@ -582,6 +745,7 @@ impl MemoryController {
             }
             t = seg_last + 1;
         }
+        self.mix.memo_replayed += ticks;
         true
     }
 
@@ -803,6 +967,9 @@ impl MemoryController {
                 writes_row: cmd.op == PimOpKind::RfStore,
             };
             if self.channel.can_issue(op, now) {
+                if self.burst_enabled && self.try_retire_burst(cmd.row, now) {
+                    return None;
+                }
                 let done = self.channel.issue(op, now).expect("column command");
                 let q = self.queues.pop_pim().expect("head exists");
                 self.pim_engine
@@ -847,5 +1014,139 @@ impl MemoryController {
             return None;
         }
         Some(self.channel.earliest_issue(act, now).unwrap_or(Cycle::MAX))
+    }
+
+    /// Attempts to retire a homogeneous run at the head of the PIM queue
+    /// as one closed-form burst plan (DESIGN.md §4h). Called only on a
+    /// cycle where the policy chose PIM and the head op is legal to issue
+    /// right now, so the run's first op is already sanctioned. Returns
+    /// `true` when a plan of at least two ops was created (the head op
+    /// included), `false` — with no state change — when the policy
+    /// declines, the same-row prefix is too short, or a refresh cuts the
+    /// window down to a single op.
+    fn try_retire_burst(&mut self, head_row: u32, now: Cycle) -> bool {
+        self.refresh_open_rows();
+        let policy_run = {
+            let view = PolicyView {
+                now,
+                mode: self.mode,
+                mem: self.queues.mem(),
+                pim: self.queues.pim(),
+                open_rows: &self.open_rows,
+            };
+            self.policy.stable_pim_run(&view)
+        };
+        if policy_run < 2 {
+            return false;
+        }
+        let cap = usize::try_from(policy_run).unwrap_or(usize::MAX);
+        // The channel state is only closed-form while the open row never
+        // moves: the burst is the same-row prefix of the queue.
+        let mut n = self
+            .queues
+            .pim()
+            .iter()
+            .take(cap)
+            .take_while(|q| q.req.kind.pim().is_some_and(|c| c.row == head_row))
+            .count();
+        // Every issue in the series must land strictly before the next
+        // refresh: at `next_refresh` the per-cycle path would set
+        // `refresh_pending` and stall the queue.
+        let (stride, _, _) = self.channel.pim_burst_timing();
+        let nr = self.channel.next_refresh();
+        if nr != Cycle::MAX {
+            debug_assert!(nr > now, "refresh due but head op deemed legal");
+            let max_n = ((nr - 1 - now) / stride + 1) as usize;
+            n = n.min(max_n);
+        }
+        if n < 2 {
+            return false;
+        }
+        self.retire_burst(n, now);
+        true
+    }
+
+    /// Retires the leading `n` PIM ops analytically: issues the whole
+    /// series on the channel in one bulk state application and opens the
+    /// plan window that [`MemoryController::plan_replay_cycle`] drains.
+    /// The issue series is `s_k = now + k · max(tCCDl, 1)`; per-op
+    /// completions come from the channel ([`Channel::issue_pim_burst`]).
+    ///
+    /// Only the *channel* state and the queue pops are eager (both hidden
+    /// behind the plan window — the channel is not consulted and the
+    /// queue occupancy is virtualized until it closes). Every per-op
+    /// *observable* — stats counters, latency sample, policy hook, engine
+    /// op, completion hand-off — is deferred to the op's analytic issue
+    /// cycle via `plan_ops`, so stats snapshots taken mid-plan match
+    /// per-cycle stepping bit for bit. The head op issues right here: its
+    /// issue cycle is the creation cycle itself.
+    fn retire_burst(&mut self, n: usize, now: Cycle) {
+        let (stride, _, _) = self.channel.pim_burst_timing();
+        // Fixed for the whole span: MEM issues nothing in PIM mode and
+        // arrivals are strictly younger than the current oldest.
+        let oldest_mem = self.queues.oldest_mem_age();
+        let mut writes = std::mem::take(&mut self.burst_writes);
+        writes.clear();
+        writes.extend(
+            self.queues
+                .pim()
+                .iter()
+                .take(n)
+                .map(|q| q.req.kind.pim().is_some_and(|c| c.op == PimOpKind::RfStore)),
+        );
+        let mut dones = std::mem::take(&mut self.burst_completions);
+        dones.clear();
+        self.channel.issue_pim_burst(now, &writes, &mut dones);
+        debug_assert!(self.plan_ops.is_empty(), "previous plan not drained");
+        for &done in dones.iter() {
+            let q = self.queues.pop_pim().expect("planned ops are queued");
+            let bypassed = oldest_mem.is_some_and(|mem_age| mem_age < q.age);
+            self.plan_ops.push_back((q, done, bypassed));
+        }
+        self.burst_writes = writes;
+        self.burst_completions = dones;
+        self.plan_first = now;
+        self.plan_stride = stride;
+        self.plan_until = now + (n as Cycle - 1) * stride + 1;
+        self.plan_reserved = n - 1;
+        self.mix.bursts_planned += 1;
+        self.mix.burst_ops += n as u64;
+        self.issue_planned_op(now);
+    }
+
+    /// Performs one planned op's observable issue effects at its analytic
+    /// issue cycle `now` — exactly what the per-cycle path does when it
+    /// issues a `PimOp`, minus the channel state transition (already
+    /// applied in bulk at plan creation; the per-op command tally is
+    /// re-attributed here via [`Channel::tally_pim_op`]).
+    fn issue_planned_op(&mut self, now: Cycle) {
+        let (q, done, bypassed) = self
+            .plan_ops
+            .pop_front()
+            .expect("plan window outlived its ops");
+        let cmd = q
+            .req
+            .kind
+            .pim()
+            .copied()
+            .expect("PIM queue holds PIM requests");
+        self.pim_engine
+            .execute(&cmd)
+            .expect("PIM RF discipline violated by workload");
+        self.channel.tally_pim_op();
+        self.stats.pim_served += 1;
+        if q.opened_row {
+            self.stats.pim_row_misses += 1;
+        } else {
+            self.stats.pim_row_hits += 1;
+        }
+        self.policy.on_pim_issued(&q, bypassed, now);
+        self.stats
+            .pim_latency
+            .record(done.saturating_sub(q.arrived));
+        self.completions.push(Completion {
+            req: q.req,
+            at: done,
+        });
     }
 }

@@ -39,7 +39,7 @@ pub mod controller;
 pub mod policy;
 pub mod queue;
 
-pub use controller::{Completion, McStats, MemoryController};
+pub use controller::{Completion, McStats, MemoryController, StepMix};
 pub use policy::{PolicyKind, SchedulePolicy};
 pub use queue::{McQueues, QueuedRequest};
 

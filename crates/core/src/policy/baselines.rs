@@ -18,6 +18,13 @@ fn work_conserving(view: &PolicyView<'_>, mode: Mode) -> Mode {
     }
 }
 
+/// Whether a queued PIM op starts a new block (the per-op analogue of
+/// [`PolicyView::pim_head_is_block_start`], for walking the queue in the
+/// `stable_pim_run` bounds).
+fn block_start(q: &QueuedRequest) -> bool {
+    q.req.kind.pim().is_some_and(|c| c.block_start)
+}
+
 /// First-come first-served across both queues: the globally-oldest request
 /// defines the mode, and MEM requests are served strictly by age (no
 /// first-ready reordering).
@@ -42,6 +49,19 @@ impl SchedulePolicy for Fcfs {
 
     fn mem_class(&self, _q: &QueuedRequest, _is_row_hit: bool, _view: &PolicyView<'_>) -> u32 {
         0 // pure age order
+    }
+
+    fn stable_pim_run(&self, view: &PolicyView<'_>) -> u64 {
+        // FCFS keeps choosing PIM while the PIM head is no younger than
+        // every MEM request (ties go to PIM). The oldest MEM age cannot
+        // drop while the mode stays PIM (no removals, arrivals are
+        // strictly younger than everything queued), so the bound is
+        // arrival-proof.
+        let m = view.oldest_age(Mode::Mem);
+        view.pim
+            .iter()
+            .take_while(|q| m.is_none_or(|a| q.age <= a))
+            .count() as u64
     }
 }
 
@@ -70,6 +90,9 @@ impl SchedulePolicy for MemFirst {
             view.mode
         }
     }
+
+    // `stable_pim_run` stays at the default 0: a single MEM arrival flips
+    // the desired mode, so no PIM run survives arbitrary arrivals.
 }
 
 /// Always issues PIM requests if there are any.
@@ -96,6 +119,12 @@ impl SchedulePolicy for PimFirst {
         } else {
             view.mode
         }
+    }
+
+    fn stable_pim_run(&self, view: &PolicyView<'_>) -> u64 {
+        // PIM-First stays in PIM mode while any PIM op is queued, so the
+        // entire queued prefix is retirable; arrivals only extend it.
+        view.pim.len() as u64
     }
 }
 
@@ -180,6 +209,18 @@ impl SchedulePolicy for FrFcfs {
 
     fn on_switch_complete(&mut self, _to: Mode, _now: Cycle) {
         self.conflicts.clear();
+    }
+
+    fn stable_pim_run(&self, view: &PolicyView<'_>) -> u64 {
+        // In PIM mode FR-FCFS yields only when the head starts a block
+        // *and* the globally-oldest request is MEM. The oldest MEM age is
+        // fixed while the mode stays PIM, and arrivals are younger than
+        // every counted op, so the yield condition per op is stable.
+        let m = view.oldest_age(Mode::Mem);
+        view.pim
+            .iter()
+            .take_while(|q| !(block_start(q) && m.is_some_and(|a| a < q.age)))
+            .count() as u64
     }
 }
 
@@ -274,6 +315,33 @@ impl SchedulePolicy for FrFcfsCap {
     fn on_switch_complete(&mut self, _to: Mode, _now: Cycle) {
         self.bypassed = 0;
         self.conflicts.clear();
+    }
+
+    fn stable_pim_run(&self, view: &PolicyView<'_>) -> u64 {
+        // Replays the cap arithmetic the per-cycle oracle would perform:
+        // each counted op updates the bypass counter exactly as
+        // `on_pim_issued` will when it retires. Once the cap is reached
+        // the policy serves the globally-oldest request, so the run ends
+        // at the first capped bypass; below the cap it ends at FR-FCFS's
+        // block-boundary yield.
+        let m = view.oldest_age(Mode::Mem);
+        let mut counter = self.bypassed;
+        let mut n = 0u64;
+        for q in view.pim {
+            let bypasses = m.is_some_and(|a| a < q.age);
+            let keeps_pim = if counter >= self.cap {
+                // Oldest-first: PIM retains the tie.
+                !bypasses
+            } else {
+                !(bypasses && block_start(q))
+            };
+            if !keeps_pim {
+                break;
+            }
+            n += 1;
+            counter = if bypasses { counter + 1 } else { 0 };
+        }
+        n
     }
 }
 
@@ -395,6 +463,10 @@ impl SchedulePolicy for Bliss {
         let _ = now;
         self.last_clear.saturating_add(self.clear_interval)
     }
+
+    // `stable_pim_run` stays at the default 0: the blacklist both clears
+    // with time and grows with every served request, so per-op decisions
+    // inside a run are not arrival-proof.
 }
 
 /// FR-RR-FCFS (Jog et al., GPGPU-7): row hit first, next mode in
@@ -463,6 +535,23 @@ impl SchedulePolicy for FrRrFcfs {
     fn on_switch_complete(&mut self, _to: Mode, _now: Cycle) {
         self.served_since_switch = false;
     }
+
+    fn stable_pim_run(&self, view: &PolicyView<'_>) -> u64 {
+        // The head op is already sanctioned by this cycle's
+        // `desired_mode`; its issue sets `served_since_switch`, after
+        // which the visit lasts exactly until the next block boundary —
+        // regardless of what arrives in the MEM queue (mid-block ops keep
+        // PIM unconditionally).
+        if view.pim.is_empty() {
+            return 0;
+        }
+        1 + view
+            .pim
+            .iter()
+            .skip(1)
+            .take_while(|q| !block_start(q))
+            .count() as u64
+    }
 }
 
 /// Gather & Issue (Lee et al., ICCE-Asia 2021): switch to PIM when the PIM
@@ -508,6 +597,14 @@ impl SchedulePolicy for GatherIssue {
                 }
             }
         }
+    }
+
+    fn stable_pim_run(&self, view: &PolicyView<'_>) -> u64 {
+        // The drain continues while the PIM queue sits above the low
+        // watermark. A MEM arrival can end the visit the moment occupancy
+        // reaches `low`, so the arrival-proof run is the drain down to the
+        // watermark (PIM arrivals only lengthen it; they are not counted).
+        (view.pim.len() as u64).saturating_sub(self.low as u64)
     }
 }
 

@@ -143,6 +143,35 @@ impl SchedulePolicy for F3fs {
     fn on_switch_complete(&mut self, _to: Mode, _now: Cycle) {
         self.bypassed = 0;
     }
+
+    fn stable_pim_run(&self, view: &PolicyView<'_>) -> u64 {
+        // Replays the CAP arithmetic the per-cycle schedule would perform
+        // in PIM mode: each counted op bumps the bypass counter exactly
+        // as `on_pim_issued` will when it retires, and the run ends where
+        // the CAP yield (or, in the ablation variant, FR-FCFS's
+        // block-boundary rule) would switch. The oldest MEM age is fixed
+        // while the mode stays PIM and arrivals are strictly younger than
+        // every counted op, so each per-op verdict is arrival-proof.
+        let m = view.oldest_age(Mode::Mem);
+        let cap = self.cap(Mode::Pim);
+        let mut counter = self.bypassed;
+        let mut n = 0u64;
+        for q in view.pim {
+            let bypasses = m.is_some_and(|a| a < q.age);
+            if counter >= cap && bypasses {
+                break;
+            }
+            let starts_block = q.req.kind.pim().is_some_and(|c| c.block_start);
+            if !self.mode_first && bypasses && starts_block {
+                break;
+            }
+            n += 1;
+            if bypasses {
+                counter += 1;
+            }
+        }
+        n
+    }
 }
 
 #[cfg(test)]

@@ -178,6 +178,40 @@ pub trait SchedulePolicy: std::fmt::Debug + Send {
         let _ = now;
         Cycle::MAX
     }
+
+    /// How many leading PIM-queue operations the controller may retire
+    /// back-to-back — one per `max(tCCDl, 1)` DRAM cycles, FCFS, without
+    /// re-consulting [`SchedulePolicy::desired_mode`] — under the burst
+    /// plan (DESIGN.md §4h). The controller consults this only on a cycle
+    /// where `desired_mode` has already chosen PIM and the head op is
+    /// legal to issue, so the count may assume the head op issues at the
+    /// consulting cycle.
+    ///
+    /// This is a stronger promise than
+    /// [`SchedulePolicy::decision_stable_until`]: the guarantee must hold
+    /// **unconditionally**, for any requests that arrive in either queue
+    /// while the run is in flight. The controller may therefore keep the
+    /// plan alive across enqueues, which is what makes saturated bursts
+    /// (an arrival every issue) retirable in closed form at all. What the
+    /// implementation can rely on:
+    ///
+    /// * no MEM request is removed while the mode stays PIM, and every
+    ///   arrival in either queue gets a larger age than anything queued —
+    ///   so an age comparison that holds against the current oldest MEM
+    ///   request keeps holding;
+    /// * [`SchedulePolicy::on_pim_issued`] fires for each retired op, at
+    ///   its analytic issue cycle, exactly as in per-cycle stepping;
+    /// * the counted ops target one open row (the controller intersects
+    ///   this bound with the same-row prefix and the refresh horizon).
+    ///
+    /// A policy whose PIM-mode decision can flip on an arrival (MEM-First)
+    /// or with time alone (BLISS's clear boundary, SMS's per-call RNG)
+    /// must return 0 — the default — which opts out of burst retirement
+    /// entirely and falls back to per-cycle stepping.
+    fn stable_pim_run(&self, view: &PolicyView<'_>) -> u64 {
+        let _ = view;
+        0
+    }
 }
 
 /// Policy selection plus tuning parameters; buildable into a boxed policy.

@@ -123,6 +123,16 @@ impl SchedulePolicy for Sms {
         now
     }
 
+    fn stable_pim_run(&self, view: &PolicyView<'_>) -> u64 {
+        // SMS opts in with the only guarantee it can make: none. Burst
+        // retirement would skip the per-cycle `desired_mode` calls whose
+        // RNG draws define the batch schedule, so every run is length 0
+        // and PIM bursts step cycle by cycle (mirroring
+        // `decision_stable_until` above).
+        let _ = view;
+        0
+    }
+
     fn on_mem_issued(&mut self, _q: &QueuedRequest, _bypassed: bool, _now: Cycle) {
         if self.batch_mode == Some(Mode::Mem) {
             self.in_batch += 1;

@@ -655,6 +655,96 @@ impl Channel {
         completion
     }
 
+    /// Issue timing of a back-to-back [`DramCommand::PimOp`] run:
+    /// `(stride, read_latency, write_latency)`. After a PIM op at `s` the
+    /// only constraints on the next are `next_col`/CCD (`s + tCCDl`) and
+    /// the command bus (`s + 1`), so successive ops issue every
+    /// `max(tCCDl, 1)` cycles; data completes `read_latency` (`tCL`) or
+    /// `write_latency` (`tWL + burst`) cycles after issue.
+    pub fn pim_burst_timing(&self) -> (Cycle, Cycle, Cycle) {
+        let t = &self.timing;
+        (t.t_ccdl.max(1), t.t_cl, t.t_wl + t.burst_cycles)
+    }
+
+    /// Bulk equivalent of issuing `writes.len()` back-to-back
+    /// [`DramCommand::PimOp`]s at `first`, `first + stride`, … (stride
+    /// from [`Channel::pim_burst_timing`]): applies the run's final
+    /// channel state in one pass and pushes each op's data-completion
+    /// cycle onto `completions`, bit-identical to the per-op loop except
+    /// for the command statistics — the caller tallies those one op at a
+    /// time via [`Channel::tally_pim_op`] as the analytic issue cycles
+    /// pass. Ops after the first are legal by construction, so only the
+    /// first is asserted. The caller must ensure no refresh becomes due
+    /// at or before the last issue cycle (debug-asserted). `row_epoch` is
+    /// untouched: PIM column ops never change row state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is empty or the first op is not legal at
+    /// `first`.
+    pub fn issue_pim_burst(&mut self, first: Cycle, writes: &[bool], completions: &mut Vec<Cycle>) {
+        assert!(!writes.is_empty(), "empty PIM burst");
+        assert!(
+            self.can_issue(
+                DramCommand::PimOp {
+                    writes_row: writes[0]
+                },
+                first
+            ),
+            "illegal PIM burst start at cycle {first}"
+        );
+        let (stride, read_lat, write_lat) = self.pim_burst_timing();
+        let last_issue = first + (writes.len() as Cycle - 1) * stride;
+        debug_assert!(
+            last_issue < self.next_refresh && !self.refresh_pending,
+            "PIM burst overlaps a refresh"
+        );
+        let t = self.timing.clone();
+        // The per-op contributions to bank state are monotone in issue
+        // order within each class, so the run folds to: the last issue's
+        // column/CCD release, the last read's precharge release, the last
+        // write's recovery, and the maximum data completion.
+        let mut last_read_issue: Option<Cycle> = None;
+        let mut last_write_done: Option<Cycle> = None;
+        let mut max_completion = 0;
+        for (k, &w) in writes.iter().enumerate() {
+            let s = first + k as Cycle * stride;
+            let completion = s + if w { write_lat } else { read_lat };
+            if w {
+                last_write_done = Some(completion);
+            } else {
+                last_read_issue = Some(s);
+            }
+            max_completion = max_completion.max(completion);
+            completions.push(completion);
+        }
+        let next_col = last_issue + t.t_ccdl;
+        let next_pre = last_read_issue
+            .map(|s| s + t.t_rtpl)
+            .into_iter()
+            .chain(last_write_done.map(|c| c + t.t_wr))
+            .max()
+            .expect("nonempty burst has a precharge release");
+        for b in &mut self.banks {
+            b.raise_busy(max_completion);
+            b.next_col = b.next_col.max(next_col);
+            b.next_pre = b.next_pre.max(next_pre);
+        }
+        self.raise_max_busy(max_completion);
+        self.last_col = Some((last_issue, usize::MAX));
+        self.last_cmd_cycle = Some(last_issue);
+        self.recompute_agg();
+    }
+
+    /// Counts one PIM op in the channel's command statistics. The bulk
+    /// [`Channel::issue_pim_burst`] deliberately does not touch the stats
+    /// so the controller can attribute each op at its analytic issue
+    /// cycle — keeping a stats snapshot taken mid-burst bit-identical to
+    /// per-cycle issuing.
+    pub fn tally_pim_op(&mut self) {
+        self.stats.pim_ops += 1;
+    }
+
     fn raise_max_busy(&mut self, completion: Cycle) {
         self.max_busy_until = Some(
             self.max_busy_until
@@ -759,6 +849,48 @@ mod tests {
         assert!(!ch.can_issue(DramCommand::Read { bank: 0 }, t0 + 1));
         // Cross-group column only needs tCCDs = 1.
         assert!(ch.can_issue(DramCommand::Read { bank: 4 }, t0 + 1));
+    }
+
+    #[test]
+    fn pim_burst_matches_per_op_issue() {
+        for writes in [
+            vec![false; 6],
+            vec![true, false, true, false],
+            vec![true; 3],
+            vec![false],
+        ] {
+            let mut a = channel();
+            let mut b = channel();
+            a.issue(DramCommand::PimActAll { row: 3 }, 0);
+            b.issue(DramCommand::PimActAll { row: 3 }, 0);
+            let head = DramCommand::PimOp {
+                writes_row: writes[0],
+            };
+            let first = a.earliest_issue(head, 1).expect("run becomes legal");
+            let (stride, _, _) = a.pim_burst_timing();
+            let mut per_op = Vec::new();
+            for (k, &w) in writes.iter().enumerate() {
+                let s = first + k as Cycle * stride;
+                let cmd = DramCommand::PimOp { writes_row: w };
+                assert!(
+                    a.can_issue(cmd, s),
+                    "op {k} not legal at its analytic cycle {s}"
+                );
+                per_op.push(a.issue(cmd, s).expect("column completion"));
+            }
+            let mut bulk = Vec::new();
+            b.issue_pim_burst(first, &writes, &mut bulk);
+            // Stats are the caller's job: one tally per analytic issue.
+            for _ in &writes {
+                b.tally_pim_op();
+            }
+            assert_eq!(per_op, bulk, "completion series diverged");
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "channel state diverged after {writes:?}"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! simulate data values; the engine checks the dataflow discipline of
 //! Figure 3: computes and stores may only read entries that a load or
 //! compute previously wrote.
+//!
+//! The engine is purely functional in time: executing an op depends only
+//! on the *sequence* of ops, never on the cycle they issue at. The
+//! controller's burst-retirement path relies on this — when a homogeneous
+//! PIM run is retired analytically each engine op executes at its
+//! *analytic* issue cycle rather than through a per-cycle decision, and
+//! the RF image lands in the same state per-cycle issue would have
+//! produced (DESIGN.md §4h).
 
 use pimsim_types::{Cycle, PimCommand, PimOpKind};
 

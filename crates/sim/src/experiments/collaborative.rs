@@ -126,7 +126,7 @@ mod tests {
     use super::*;
 
     #[test]
-    #[ignore = "several seconds; run with --ignored or the fig11 binary"]
+    #[ignore = "several seconds; run via `scripts/tier1.sh --slow` or the fig11 binary"]
     fn qkv_runs_longer_and_speedups_bounded_by_ideal() {
         let report = run_collaborative(&SystemConfig::default(), 0.1, 20_000_000);
         // The scenario's premise: QKV (GPU) is the longer kernel.

@@ -121,7 +121,7 @@ mod tests {
     /// hurts more than any GPU co-runner (Figure 5 reports a 60% average
     /// slowdown with P1 vs. a worst case of 30% with Rodinia kernels).
     #[test]
-    #[ignore = "several seconds; run with --ignored or the fig5 binary"]
+    #[ignore = "several seconds; run via `scripts/tier1.sh --slow` or the fig5 binary"]
     fn pim_corunner_hurts_most() {
         let bars = run_interference(&SystemConfig::default(), 0.01, 8_000_000);
         assert_eq!(bars.len(), 6);

@@ -86,6 +86,29 @@ impl ClockCoupler {
         self.gpu += 1;
     }
 
+    /// The largest GPU-cycle target `g` such that a [`ClockCoupler::jump_to(g)`]
+    /// would leave `dram_now() <= dram_bound` — i.e. every DRAM tick the
+    /// jump skips over is strictly below `dram_bound`. Used by the
+    /// fast-forward path to jump up to (but never past) the memory
+    /// stage's stall/burst horizon.
+    ///
+    /// With `span = g - gpu_now()`, the jump fires
+    /// `(acc + span·num) div den` ticks; requiring that to stay `≤
+    /// dram_bound - dram_now()` gives
+    /// `span ≤ ((dram_bound - dram + 1)·den - 1 - acc) div num`.
+    pub fn max_jump_for_dram_bound(&self, dram_bound: Cycle) -> Cycle {
+        if dram_bound < self.dram {
+            return self.gpu;
+        }
+        let s = dram_bound - self.dram;
+        let span = ((s + 1)
+            .saturating_mul(self.den)
+            .saturating_sub(1)
+            .saturating_sub(self.acc))
+            / self.num;
+        self.gpu.saturating_add(span)
+    }
+
     /// Jumps both domains over `target - gpu_now()` idle GPU cycles in one
     /// step: `steps = (acc + span*num) div den`, `acc' = same mod den` —
     /// bit-identical to accruing and draining the span cycle by cycle.
@@ -157,6 +180,27 @@ mod tests {
                 b.finish_gpu_cycle();
                 assert_eq!(a.dram_now(), b.dram_now(), "{num}/{den}");
                 assert_eq!(a.acc, b.acc, "{num}/{den}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_jump_is_the_largest_target_within_the_bound() {
+        for (num, den) in [(1, 1), (7, 5), (3500, 1410), (1, 3), (5, 7)] {
+            let mut c = ClockCoupler::new(num, den);
+            lockstep(&mut c, 321); // arbitrary mid-stream state
+            for bound_off in [0u64, 1, 2, 17] {
+                let bound = c.dram_now() + bound_off;
+                let g = c.max_jump_for_dram_bound(bound);
+                assert!(g >= c.gpu_now(), "{num}/{den}: jump target in the past");
+                // Jumping to g stays within the bound...
+                let mut at = c.clone();
+                at.jump_to(g);
+                assert!(at.dram_now() <= bound, "{num}/{den} bound {bound}");
+                // ...and one more GPU cycle would cross it.
+                let mut past = c.clone();
+                past.jump_to(g + 1);
+                assert!(past.dram_now() > bound, "{num}/{den}: g not maximal");
             }
         }
     }

@@ -204,6 +204,32 @@ impl MemoryStage {
         }
     }
 
+    /// Replays the DRAM-tick span `[first, first + ticks)` on every
+    /// partition not known idle, advancing each controller's stats
+    /// integrals exactly as per-tick stepping would have.
+    ///
+    /// The fast-forward path calls this after jumping the clocks up to
+    /// (but never past) the horizon [`MemoryStage::next_activity_cycle`]
+    /// reported: every busy partition answered a horizon at or beyond the
+    /// stage minimum, which it only does with all of its buffers empty
+    /// and its controller inside a stall window covering the span — so
+    /// the per-partition replay is the O(1)
+    /// [`MemoryController::quiet_replay_span`] path
+    /// ([`crate::partition::Partition::step_dram_span`] falls back to
+    /// exact per-tick stepping if it ever is not).
+    pub fn quiet_replay_all(&mut self, first: Cycle, ticks: u64, mapper: &Arc<AddressMapper>) {
+        if ticks == 0 {
+            return;
+        }
+        for (c, slot) in self.partitions.iter_mut().enumerate() {
+            if self.known_idle[c] {
+                continue;
+            }
+            let p = slot.as_deref_mut().expect("partition in slot");
+            p.step_dram_span(first, ticks, mapper);
+        }
+    }
+
     /// The earliest DRAM cycle at or after `dram_now` at which any
     /// partition has work, or `None` while all are idle.
     ///

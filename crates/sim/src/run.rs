@@ -104,6 +104,13 @@ impl Simulator {
         self.merged(|p| p.mc.stats().clone())
     }
 
+    /// Merged step mix across channels: how controller cycles were
+    /// serviced — full scheduling steps, stall-memo replays, burst-plan
+    /// retirement (observability; see [`pimsim_core::StepMix`]).
+    pub fn merged_step_mix(&self) -> pimsim_core::StepMix {
+        self.merged(|p| p.mc.step_mix())
+    }
+
     /// Total DRAM energy over the run under `energy` coefficients.
     pub fn total_energy(&self, energy: &pimsim_dram::EnergyConfig) -> pimsim_dram::EnergyBreakdown {
         pimsim_dram::channel_energy(

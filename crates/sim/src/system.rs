@@ -339,26 +339,25 @@ impl Simulator {
         self.profile = prof;
     }
 
-    /// Attempts to jump the clocks over a provably idle span, stopping at
-    /// `limit`. Returns whether any cycles were skipped.
+    /// Attempts to jump the clocks over a provably quiet span, stopping
+    /// at `limit`. Returns whether any cycles were skipped.
     ///
-    /// Soundness: the jump is taken only when both network stages and
-    /// every partition report no activity, i.e. no request, reply, fill,
-    /// writeback, or DRAM command exists anywhere in the system. In that
-    /// state a lock-step [`Simulator::step`] provably mutates nothing but
-    /// the cycle counters — issue finds no ready kernel (by the
-    /// [`KernelModel::next_activity_cycle`] contract), the crossbars add
-    /// zero to their occupancy integrals without touching arbiter state,
-    /// the L2 stages find empty ports, and the DRAM stages early-return
-    /// before ticking the channel. The only future event is kernel issue
-    /// pacing, so the earliest activity hook across kernels bounds the
-    /// skip, and [`ClockCoupler::jump_to`] advances the clocks to exactly
-    /// the values per-cycle stepping would produce.
-    ///
-    /// Note "no activity" really is required, not just "idle this cycle":
-    /// overshooting into a cycle where the controller is stepped would
-    /// desynchronize the `McStats` cycle/occupancy/BLP integrals, which
-    /// advance on every stepped controller cycle.
+    /// Soundness: the jump is taken only when both network stages report
+    /// no activity and every memory partition is either fully idle or
+    /// *quiet* — all of its buffers empty and its controller inside a
+    /// stall window (its activity horizon strictly in the future). In
+    /// that state a lock-step [`Simulator::step`] mutates nothing but the
+    /// cycle counters and the quiet controllers' stats integrals — issue
+    /// finds no ready kernel (by the [`KernelModel::next_activity_cycle`]
+    /// contract), the crossbars add zero to their occupancy integrals
+    /// without touching arbiter state, the L2 stages find empty ports,
+    /// and each quiet controller's cycles are replayed exactly by
+    /// [`MemoryStage::quiet_replay_all`] after the jump. The skip is
+    /// bounded by both the earliest kernel-pacing event and (via
+    /// [`ClockCoupler::max_jump_for_dram_bound`]) the memory stage's
+    /// horizon, so no skipped DRAM tick ever reaches a cycle where a
+    /// controller would issue a command, pop a completion, or service a
+    /// refresh.
     pub(crate) fn skip_idle_span(&mut self, limit: Cycle) -> bool {
         let now = self.clock.gpu_now();
         if now >= limit {
@@ -376,14 +375,15 @@ impl Simulator {
         {
             return false;
         }
-        if self
-            .memory
-            .next_activity_cycle(self.clock.dram_now())
-            .is_some()
-        {
+        let dram_now = self.clock.dram_now();
+        let mem_horizon = self.memory.next_activity_cycle(dram_now);
+        if mem_horizon.is_some_and(|at| at <= dram_now) {
+            // Some partition needs servicing this very DRAM cycle
+            // (buffered work, or a controller mid burst plan).
             return false;
         }
-        // The system is empty: only kernel pacing can create work.
+        // Nothing needs per-cycle servicing: only kernel pacing (and the
+        // memory horizon, folded in below) can create work.
         let target = self
             .kernels
             .iter()
@@ -395,13 +395,22 @@ impl Simulator {
             // the budget exactly as it would with fast-forward off.
             return false;
         };
-        let target = target.min(limit);
+        let mut target = target.min(limit);
+        if let Some(h) = mem_horizon {
+            // Every skipped DRAM tick must stay strictly below the
+            // horizon: cap the jump so `dram_now()` lands at most on `h`.
+            target = target.min(self.clock.max_jump_for_dram_bound(h));
+        }
         if target <= now {
             return false;
         }
         self.skips += 1;
         self.skipped_cycles += target - now;
         self.clock.jump_to(target);
+        if mem_horizon.is_some() {
+            let ticks = self.clock.dram_now() - dram_now;
+            self.memory.quiet_replay_all(dram_now, ticks, &self.mapper);
+        }
         true
     }
 }
