@@ -246,6 +246,21 @@ fn main() {
                 mix.burst_retired > 0,
                 "standalone_pim retired no cycles through burst plans"
             );
+            // Structural gate for event-driven completion delivery: the
+            // eager per-tick reply path ran the reply-net and completion
+            // stages every stepped cycle (2 ticks/cycle). Deferred,
+            // observability-gated delivery must cut the combined tick
+            // count at least 5x below that baseline. Tick counts are
+            // deterministic, so unlike the wall-clock rates this gate is
+            // immune to host noise.
+            let stage_ticks = mix.ticks_reply_net + mix.ticks_completion;
+            assert!(
+                stage_ticks * 5 <= 2 * prof.stepped_cycles,
+                "standalone_pim: reply/completion stages ran {stage_ticks} ticks over \
+                 {} stepped cycles; event-driven delivery should cut the eager \
+                 2-ticks-per-cycle baseline at least 5x",
+                prof.stepped_cycles
+            );
         }
         let total = prof.total_ns().max(1);
         print!("  {:16} stages:", "");
@@ -270,6 +285,16 @@ fn main() {
             ff_skips,
             ff_skipped
         );
+        println!(
+            "  {:16} stage ticks: issue {} / req_net {} / memory {} / reply_net {} / completion {}   ({} completions delivered)",
+            "",
+            mix.ticks_issue,
+            mix.ticks_request_net,
+            mix.ticks_memory,
+            mix.ticks_reply_net,
+            mix.ticks_completion,
+            mix.completions_delivered
+        );
         entries.push(format!(
             concat!(
                 "    {{\n",
@@ -290,7 +315,13 @@ fn main() {
                 "        \"memo_invalidations\": {},\n",
                 "        \"bursts_planned\": {},\n",
                 "        \"burst_ops\": {},\n",
-                "        \"burst_hit_rate\": {:.4}\n",
+                "        \"burst_hit_rate\": {:.4},\n",
+                "        \"ticks_issue\": {},\n",
+                "        \"ticks_request_net\": {},\n",
+                "        \"ticks_memory\": {},\n",
+                "        \"ticks_reply_net\": {},\n",
+                "        \"ticks_completion\": {},\n",
+                "        \"completions_delivered\": {}\n",
                 "      }},\n",
                 "      \"fast_forward\": {{\n",
                 "        \"skips\": {},\n",
@@ -319,6 +350,12 @@ fn main() {
             mix.bursts_planned,
             mix.burst_ops,
             hit_rate,
+            mix.ticks_issue,
+            mix.ticks_request_net,
+            mix.ticks_memory,
+            mix.ticks_reply_net,
+            mix.ticks_completion,
+            mix.completions_delivered,
             ff_skips,
             ff_skipped,
             prof.stepped_cycles,

@@ -187,6 +187,24 @@ pub struct StepMix {
     pub bursts_planned: u64,
     /// PIM ops retired through burst plans.
     pub burst_ops: u64,
+    /// GPU cycles in which the issue stage ran. Controllers leave the
+    /// per-stage tick counters at zero; the simulator fills them in when
+    /// merging (it owns the pipeline, controllers only see DRAM ticks).
+    pub ticks_issue: u64,
+    /// GPU cycles in which the request crossbar ran.
+    pub ticks_request_net: u64,
+    /// GPU cycles in which the memory stage ran.
+    pub ticks_memory: u64,
+    /// GPU cycles in which the reply crossbar actually stepped (the
+    /// event-driven path skips it while no reply is queued or in flight).
+    pub ticks_reply_net: u64,
+    /// GPU cycles in which the completion stage retired anything (ack
+    /// collection or reply retirement; skipped while every mounted kernel
+    /// defers delivery).
+    pub ticks_completion: u64,
+    /// Kernel completions retired (PIM acks + MEM replies). The
+    /// denominator of the ticks-per-completion structural gate.
+    pub completions_delivered: u64,
 }
 
 impl StepMix {
@@ -206,6 +224,12 @@ impl pimsim_stats::Mergeable for StepMix {
         self.memo_invalidations += o.memo_invalidations;
         self.bursts_planned += o.bursts_planned;
         self.burst_ops += o.burst_ops;
+        self.ticks_issue += o.ticks_issue;
+        self.ticks_request_net += o.ticks_request_net;
+        self.ticks_memory += o.ticks_memory;
+        self.ticks_reply_net += o.ticks_reply_net;
+        self.ticks_completion += o.ticks_completion;
+        self.completions_delivered += o.completions_delivered;
     }
 }
 

@@ -137,6 +137,9 @@ pub struct CompletionStage {
     /// Reusable per-cycle buffers (PIM acks, delivered replies).
     ack_scratch: Vec<Request>,
     reply_scratch: Vec<Request>,
+    /// Kernel completions retired (acks + replies) — the denominator of
+    /// the ticks-per-completion structural metric.
+    delivered: u64,
 }
 
 impl CompletionStage {
@@ -155,6 +158,11 @@ impl CompletionStage {
         &mut self.inflight
     }
 
+    /// Kernel completions retired so far (PIM acks + MEM replies).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
     /// Drains every partition's PIM ack wire and retires the acks
     /// (credit return, out-of-band — acks never cross the reply network).
     pub fn collect_acks(
@@ -167,7 +175,14 @@ impl CompletionStage {
         let mut acks = std::mem::take(&mut self.ack_scratch);
         memory.drain_acks_into(&mut acks);
         for ack in &acks {
-            Self::complete_one(&mut self.inflight, kernels, issue, ack, now, "pim-ack");
+            self.delivered += u64::from(Self::complete_one(
+                &mut self.inflight,
+                kernels,
+                issue,
+                ack,
+                now,
+                "pim-ack",
+            ));
         }
         acks.clear();
         self.ack_scratch = acks;
@@ -189,7 +204,14 @@ impl CompletionStage {
         now: Cycle,
     ) {
         for rep in &delivered {
-            Self::complete_one(&mut self.inflight, kernels, issue, rep, now, "reply");
+            self.delivered += u64::from(Self::complete_one(
+                &mut self.inflight,
+                kernels,
+                issue,
+                rep,
+                now,
+                "reply",
+            ));
         }
         delivered.clear();
         self.reply_scratch = delivered;
@@ -202,7 +224,7 @@ impl CompletionStage {
         req: &Request,
         now: Cycle,
         stage: &'static str,
-    ) {
+    ) -> bool {
         let Some((k, slot)) = inflight.remove(req.id) else {
             // Fills and writebacks are simulator-internal: not in the
             // table. Anything else reaching this branch means a kernel
@@ -213,13 +235,14 @@ impl CompletionStage {
                 req.id.0,
                 req.kind
             );
-            return;
+            return false;
         };
         let kernel = &mut kernels[k];
         kernel.model.on_complete(slot, req.id, now);
         if !kernel.is_pim {
             issue.credit_return(kernel.sms[slot]);
         }
+        true
     }
 }
 

@@ -29,6 +29,11 @@ pub struct IssueCtx<'a> {
 pub struct IssueStage {
     /// Global SM index -> (kernel index, slot index).
     sm_map: Vec<Option<(usize, usize)>>,
+    /// Occupied SM indices, ascending — the step loop iterates this dense
+    /// list instead of scanning all `num_sms` slots (standalone runs
+    /// mount a handful of SMs on an 80-SM GPU). Kept sorted so the visit
+    /// order is identical to the historical full scan.
+    occupied: Vec<usize>,
     /// Outstanding requests per global SM (MEM kernels' throttle).
     sm_outstanding: Vec<usize>,
     /// Per-SM cap on outstanding MEM requests.
@@ -40,6 +45,7 @@ impl IssueStage {
     pub fn new(num_sms: usize, max_outstanding_mem: usize) -> Self {
         IssueStage {
             sm_map: vec![None; num_sms],
+            occupied: Vec::new(),
             sm_outstanding: vec![0; num_sms],
             max_outstanding_mem,
         }
@@ -54,6 +60,8 @@ impl IssueStage {
         assert!(sm < self.sm_map.len(), "SM index out of range");
         assert!(self.sm_map[sm].is_none(), "SM {sm} already occupied");
         self.sm_map[sm] = Some((kernel, slot));
+        let at = self.occupied.partition_point(|&s| s < sm);
+        self.occupied.insert(at, sm);
     }
 
     /// Returns one MEM-outstanding credit to `sm` (called by the
@@ -72,9 +80,9 @@ impl Component for IssueStage {
     }
 
     fn step(&mut self, now: Cycle, ctx: IssueCtx<'_>) {
-        for sm in 0..self.sm_map.len() {
+        for &sm in &self.occupied {
             let Some((k, slot)) = self.sm_map[sm] else {
-                continue;
+                unreachable!("occupied list out of sync with SM map");
             };
             let kernel = &mut ctx.kernels[k];
             let is_pim = kernel.is_pim;

@@ -64,6 +64,17 @@ pub struct MemoryStage {
     /// Partitions the fast-forward probe proved idle; skipped by probing
     /// and stepping until [`MemoryStage::partition_mut`] clears the memo.
     known_idle: Vec<bool>,
+    /// Whether any partition's reply wire was non-empty at the end of the
+    /// last [`MemoryStage::step_cycle_all`]. Replies are only *created*
+    /// inside that call (the L2 front half releases fill waiters and
+    /// drains hit delays there), so the flag is an exact emptiness
+    /// summary from then until the next mutation — which the reply
+    /// network's event-driven skip exploits: while `false` and the reply
+    /// crossbar is empty, the whole reply/completion tail of the cycle
+    /// provably has nothing to move. External drains (the reply network
+    /// popping wires) may leave the flag conservatively `true` for a
+    /// cycle; that costs one redundant scan, never a missed reply.
+    replies_pending: bool,
     threads: usize,
     pool: StagePool,
     bin: ReturnBin,
@@ -80,6 +91,7 @@ impl MemoryStage {
                 .map(|c| Some(Box::new(Partition::new(c, cfg, policy.build()))))
                 .collect(),
             known_idle: vec![false; channels],
+            replies_pending: false,
             threads: 1,
             pool: StagePool::Serial,
             bin: Arc::new(Mutex::new(Vec::with_capacity(channels))),
@@ -136,6 +148,14 @@ impl MemoryStage {
         self.partitions.len()
     }
 
+    /// Whether any partition had replies queued at the end of the last
+    /// [`MemoryStage::step_cycle_all`] (conservatively `true` until the
+    /// next step after an external drain). O(1) — the reply network's
+    /// skip gate.
+    pub fn replies_pending(&self) -> bool {
+        self.replies_pending
+    }
+
     /// Drains every partition's PIM ack wire into `out`.
     ///
     /// Goes through shared references first: draining only removes work,
@@ -168,6 +188,7 @@ impl MemoryStage {
         mapper: &Arc<AddressMapper>,
     ) {
         if self.threads <= 1 {
+            let mut replies = false;
             for (c, slot) in self.partitions.iter_mut().enumerate() {
                 if self.known_idle[c] {
                     continue;
@@ -175,7 +196,9 @@ impl MemoryStage {
                 let p = slot.as_deref_mut().expect("partition in slot");
                 p.step_l2(now);
                 p.step_dram_span(first_dram, ticks, mapper);
+                replies |= !p.reply().is_empty();
             }
+            self.replies_pending = replies;
             return;
         }
         let mut jobs: Vec<Job> = Vec::with_capacity(self.partitions.len());
@@ -202,6 +225,17 @@ impl MemoryStage {
             debug_assert!(self.partitions[c].is_none(), "slot refilled twice");
             self.partitions[c] = Some(p);
         }
+        drop(bin);
+        // Skipped (known-idle) partitions have empty reply wires by the
+        // memo's definition, so scanning the stepped ones suffices.
+        self.replies_pending = self.partitions.iter().enumerate().any(|(c, slot)| {
+            !self.known_idle[c]
+                && !slot
+                    .as_deref()
+                    .expect("partition in slot")
+                    .reply()
+                    .is_empty()
+        });
     }
 
     /// Replays the DRAM-tick span `[first, first + ticks)` on every
@@ -339,6 +373,27 @@ mod tests {
         assert_eq!(m.known_idle.iter().filter(|&&b| !b).count(), 1);
         // ...and the probe sees its activity again.
         assert_eq!(m.next_activity_cycle(7), Some(7));
+    }
+
+    #[test]
+    fn replies_pending_tracks_wire_contents() {
+        for threads in [1, 4] {
+            let (mut m, mapper) = stage(threads);
+            assert!(!m.replies_pending(), "fresh stage has no replies");
+            let c = mapper.decode(pimsim_types::PhysAddr(0)).channel as usize;
+            assert!(m.partition_mut(c).try_accept(0, mem_read(1, 0)));
+            let mut saw_pending = false;
+            for now in 0..400u64 {
+                m.step_cycle_all(now, now, 1, &mapper);
+                assert_eq!(
+                    m.replies_pending(),
+                    (0..m.channel_count()).any(|c| !m.get(c).reply().is_empty()),
+                    "flag must match wires right after a step (threads={threads}, now={now})"
+                );
+                saw_pending |= m.replies_pending();
+            }
+            assert!(saw_pending, "the read must have produced a reply");
+        }
     }
 
     #[test]

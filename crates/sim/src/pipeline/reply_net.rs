@@ -35,6 +35,32 @@ impl ReplyNet {
             ),
         }
     }
+
+    /// Whether the crossbar itself buffers any reply in flight. O(1).
+    pub fn has_traffic(&self) -> bool {
+        self.xbar.total_occupancy() > 0
+    }
+
+    /// The reply path's true activity horizon: the earliest cycle at or
+    /// after `now` at which this stage can move a completion, or `None`
+    /// while provably quiet.
+    ///
+    /// The bare [`Component::next_activity_cycle`] consults only the
+    /// crossbar, which under-reports once delivery is event-driven:
+    /// completions queued in a partition's reply wire but not yet
+    /// injected are invisible to it. This variant folds in the memory
+    /// stage's reply summary, so a skip licensed by `None` here is sound
+    /// even when wires hold queued-but-uninjected replies.
+    pub fn horizon(&self, now: Cycle, memory: &MemoryStage) -> Option<Cycle> {
+        (self.has_traffic() || memory.replies_pending()).then_some(now)
+    }
+
+    /// Advances the crossbar over a span it is known to be quiet (see
+    /// [`pimsim_noc::Crossbar::skip_quiet_span`]); `true` iff the span
+    /// collapsed to a no-op because nothing was buffered.
+    pub fn skip_quiet_span(&mut self, first: Cycle, cycles: u64) -> bool {
+        self.xbar.skip_quiet_span(first, cycles)
+    }
 }
 
 impl Component for ReplyNet {
@@ -74,6 +100,8 @@ impl Component for ReplyNet {
         });
     }
 
+    /// Crossbar-only horizon; prefer [`ReplyNet::horizon`], which also
+    /// sees replies queued in partition wires awaiting injection.
     fn next_activity_cycle(&self, now: Cycle) -> Option<Cycle> {
         self.xbar.next_activity_cycle(now)
     }

@@ -53,6 +53,13 @@ impl RequestNet {
     pub fn stats(&self) -> CrossbarStats {
         self.xbar.stats()
     }
+
+    /// Advances the crossbar over a span it is known to be quiet (see
+    /// [`pimsim_noc::Crossbar::skip_quiet_span`]); `true` iff the span
+    /// collapsed to a no-op because nothing was buffered.
+    pub fn skip_quiet_span(&mut self, first: Cycle, cycles: u64) -> bool {
+        self.xbar.skip_quiet_span(first, cycles)
+    }
 }
 
 impl Component for RequestNet {

@@ -106,9 +106,19 @@ impl Simulator {
 
     /// Merged step mix across channels: how controller cycles were
     /// serviced — full scheduling steps, stall-memo replays, burst-plan
-    /// retirement (observability; see [`pimsim_core::StepMix`]).
+    /// retirement (observability; see [`pimsim_core::StepMix`]) — plus
+    /// the simulator-level per-stage tick counters (controllers leave
+    /// those at zero; the pipeline scheduler owns them).
     pub fn merged_step_mix(&self) -> pimsim_core::StepMix {
-        self.merged(|p| p.mc.step_mix())
+        let mut mix = self.merged(|p| p.mc.step_mix());
+        let t = &self.stage_ticks;
+        mix.ticks_issue = t.issue;
+        mix.ticks_request_net = t.request_net;
+        mix.ticks_memory = t.memory;
+        mix.ticks_reply_net = t.reply_net;
+        mix.ticks_completion = t.completion;
+        mix.completions_delivered = self.completion_stage_delivered();
+        mix
     }
 
     /// Total DRAM energy over the run under `energy` coefficients.

@@ -30,6 +30,11 @@ pub struct Runner {
     /// bit-identical either way, so turning it off is only useful for
     /// validating that claim or profiling the lock-step path.
     pub fast_forward: bool,
+    /// Event-driven completion delivery (see
+    /// [`Simulator::set_event_delivery`]). On by default; results are
+    /// bit-identical either way, so turning it off is only useful for
+    /// the eager-oracle equivalence tests and stage-tick baselines.
+    pub event_delivery: bool,
     /// Shard width for the per-cycle memory stage (`None` keeps the
     /// simulator's default: `PIMSIM_THREADS` if set, else serial).
     /// Results are bit-identical at every width; see
@@ -46,6 +51,7 @@ impl Runner {
             policy,
             max_gpu_cycles: 60_000_000,
             fast_forward: true,
+            event_delivery: true,
             memory_threads: None,
         }
     }
@@ -68,6 +74,7 @@ impl Runner {
     fn simulator(&self) -> Simulator {
         let mut sim = Simulator::new(self.system.clone(), self.policy);
         sim.set_fast_forward(self.fast_forward);
+        sim.set_event_delivery(self.event_delivery);
         if let Some(threads) = self.memory_threads {
             sim.set_memory_threads(threads);
         }

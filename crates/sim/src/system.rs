@@ -74,6 +74,20 @@ impl StageProfile {
     }
 }
 
+/// How many times each pipeline stage actually ran (its code was
+/// entered this cycle, as opposed to being skipped by the event-driven
+/// delivery path). The first three stages run every stepped cycle; the
+/// reply and completion stages only run when a completion can move —
+/// the structural quantity behind the ticks-per-completion gate.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StageTicks {
+    pub issue: u64,
+    pub request_net: u64,
+    pub memory: u64,
+    pub reply_net: u64,
+    pub completion: u64,
+}
+
 /// The full-system simulator.
 ///
 /// # Example
@@ -105,10 +119,15 @@ pub struct Simulator {
     /// Event-driven idle-span skipping (on by default; see
     /// [`Simulator::set_fast_forward`]).
     pub(crate) fast_forward: bool,
+    /// Event-driven completion delivery (on by default; see
+    /// [`Simulator::set_event_delivery`]).
+    event_delivery: bool,
     /// Number of idle-span jumps taken.
     skips: u64,
     /// GPU cycles covered by those jumps (not stepped one by one).
     skipped_cycles: u64,
+    /// Per-stage run counts (see [`StageTicks`]).
+    pub(crate) stage_ticks: StageTicks,
     /// Per-stage wall-time accumulators; `None` (the default) keeps the
     /// hot loop free of timer reads.
     profile: Option<Box<StageProfile>>,
@@ -137,8 +156,10 @@ impl Simulator {
             clock: ClockCoupler::new(clock_num, clock_den),
             kernels: Vec::new(),
             fast_forward: true,
+            event_delivery: true,
             skips: 0,
             skipped_cycles: 0,
+            stage_ticks: StageTicks::default(),
             profile: None,
             mapper,
             cfg,
@@ -187,10 +208,35 @@ impl Simulator {
         self.fast_forward
     }
 
+    /// Enables or disables event-driven completion delivery (on by
+    /// default). With it on, PIM acknowledgements accumulate in the
+    /// partitions' ack wires until some mounted kernel reports
+    /// ([`KernelModel::wants_completions`]) that delivery is observable,
+    /// and the reply-network / completion stages are skipped on cycles
+    /// where no reply exists anywhere. With it off, every completion is
+    /// retired on the cycle it arrives and every stage ticks every cycle
+    /// — the eager oracle. Both modes produce bit-identical observables
+    /// (cycle counts, McStats, goldens); only the step mix's per-stage
+    /// tick counters may differ. The flag exists for the oracle
+    /// equivalence tests and for measuring the win.
+    pub fn set_event_delivery(&mut self, on: bool) {
+        self.event_delivery = on;
+    }
+
+    /// Whether event-driven completion delivery is enabled.
+    pub fn event_delivery(&self) -> bool {
+        self.event_delivery
+    }
+
     /// `(jumps taken, GPU cycles covered by jumps)` — how much of the run
     /// the event-driven path fast-forwarded over.
     pub fn fast_forward_stats(&self) -> (u64, u64) {
         (self.skips, self.skipped_cycles)
+    }
+
+    /// Kernel completions retired so far (PIM acks + MEM replies).
+    pub(crate) fn completion_stage_delivered(&self) -> u64 {
+        self.completion.delivered()
     }
 
     /// Mounts `model` on the given global SM indices.
@@ -279,6 +325,11 @@ impl Simulator {
     /// One GPU cycle of the whole system. The stage order is fixed:
     /// issue → request net → L2 → DRAM ticks → PIM acks → reply net →
     /// reply completions → kernel bookkeeping.
+    ///
+    /// With event-driven delivery on (the default), the PIM-ack and
+    /// reply stages only run on cycles where a completion can actually
+    /// move or be observed; see [`Simulator::set_event_delivery`] for the
+    /// contract and the soundness comments inline below.
     pub fn step(&mut self) {
         let now = self.clock.gpu_now();
         let mut prof = self.profile.take();
@@ -294,10 +345,12 @@ impl Simulator {
                 mapper: self.mapper.as_ref(),
             },
         );
+        self.stage_ticks.issue += 1;
         Self::lap(&mut mark, &mut prof, |p| &mut p.issue_ns);
 
         // 2. Request network ejects into partition ingress ports.
         self.request_net.step(now, &mut self.memory);
+        self.stage_ticks.request_net += 1;
         Self::lap(&mut mark, &mut prof, |p| &mut p.request_net_ns);
 
         // 3+4. The memory stage's whole cycle: L2 front halves (GPU
@@ -308,25 +361,68 @@ impl Simulator {
         let (first_dram, dram_ticks) = self.clock.take_dram_span();
         self.memory
             .step_cycle_all(now, first_dram, dram_ticks, &self.mapper);
+        self.stage_ticks.memory += 1;
         Self::lap(&mut mark, &mut prof, |p| &mut p.memory_ns);
 
-        // 5. PIM acks (credit return, out-of-band).
-        self.completion
-            .collect_acks(&mut self.memory, &mut self.kernels, &mut self.issue, now);
+        // 5. PIM acks (credit return, out-of-band). Event-driven: acks
+        // are left to accumulate in the partitions' ack wires until some
+        // PIM kernel says delivery is observable — a warp throttled at
+        // its credit cap, or the completion tail where `is_done` is
+        // advancing. This runs at the same position the eager schedule
+        // delivers, so a gated delivery is never *early*; and because a
+        // warp can only be at its cap here if it already was when this
+        // stage last ran (issue precedes this stage in the same cycle),
+        // every ack the eager schedule would have delivered before an
+        // observable issue decision is delivered before that decision
+        // here too. `on_complete` batching is exact by the
+        // `wants_completions` contract.
+        let mut completion_ticked = false;
+        let deliver_acks = !self.event_delivery
+            || self
+                .kernels
+                .iter()
+                .any(|k| k.is_pim && k.model.wants_completions(now));
+        if deliver_acks {
+            self.completion
+                .collect_acks(&mut self.memory, &mut self.kernels, &mut self.issue, now);
+            completion_ticked = true;
+        }
         Self::lap(&mut mark, &mut prof, |p| &mut p.completion_ns);
 
         // 6. Reply network: inject from partitions, deliver to SMs.
-        let mut delivered = self.completion.begin_replies();
-        self.reply_net.step(
-            now,
-            ReplyNetCtx {
-                memory: &mut self.memory,
-                delivered: &mut delivered,
-            },
-        );
-        Self::lap(&mut mark, &mut prof, |p| &mut p.reply_net_ns);
-        self.completion
-            .finish_replies(delivered, &mut self.kernels, &mut self.issue, now);
+        // Skipped when no reply is queued in any partition wire
+        // (`replies_pending`, exact as of this cycle's memory step) and
+        // none is in flight inside the crossbar — then injection,
+        // arbitration, and retirement would all be no-ops.
+        let reply_active =
+            !self.event_delivery || self.memory.replies_pending() || self.reply_net.has_traffic();
+        if reply_active {
+            let mut delivered = self.completion.begin_replies();
+            self.reply_net.step(
+                now,
+                ReplyNetCtx {
+                    memory: &mut self.memory,
+                    delivered: &mut delivered,
+                },
+            );
+            self.stage_ticks.reply_net += 1;
+            Self::lap(&mut mark, &mut prof, |p| &mut p.reply_net_ns);
+            self.completion
+                .finish_replies(delivered, &mut self.kernels, &mut self.issue, now);
+            completion_ticked = true;
+        } else {
+            // The skip is licensed by the crossbar's quiet-span
+            // contract: an empty arbitration cycle is a no-op.
+            let quiet = self.reply_net.skip_quiet_span(now, 1);
+            debug_assert!(
+                quiet,
+                "reply gate said quiet but the crossbar buffers flits"
+            );
+            Self::lap(&mut mark, &mut prof, |p| &mut p.reply_net_ns);
+        }
+        if completion_ticked {
+            self.stage_ticks.completion += 1;
+        }
 
         // 7. Kernel completion / restart bookkeeping.
         check_kernel_completion(&mut self.kernels, now);
@@ -370,8 +466,11 @@ impl Simulator {
         if !self.completion.inflight().is_empty() {
             return false;
         }
+        // The reply horizon folds in replies queued in partition wires
+        // but not yet injected — the bare crossbar probe under-reports
+        // those once delivery is event-driven.
         if self.request_net.next_activity_cycle(now).is_some()
-            || self.reply_net.next_activity_cycle(now).is_some()
+            || self.reply_net.horizon(now, &self.memory).is_some()
         {
             return false;
         }
@@ -406,6 +505,12 @@ impl Simulator {
         }
         self.skips += 1;
         self.skipped_cycles += target - now;
+        // Both crossbars collapse the span per their quiet-span
+        // contract (they reported no activity above, so they buffer
+        // nothing and empty arbitration cycles are no-ops).
+        let quiet = self.request_net.skip_quiet_span(now, target - now)
+            && self.reply_net.skip_quiet_span(now, target - now);
+        debug_assert!(quiet, "skip licensed with flits buffered in a crossbar");
         self.clock.jump_to(target);
         if mem_horizon.is_some() {
             let ticks = self.clock.dram_now() - dram_now;

@@ -33,8 +33,12 @@ PIMSIM_THREADS=4 cargo test -q --release --test golden_pipeline --test parallel_
 # scan creeping back into the busy path), not machine noise. The smoke
 # writes no JSON so the committed best-of-3 numbers are preserved.
 # The hotloop binary itself also fails the smoke if burst retirement
-# disengages (zero burst hit rate on standalone_pim) or if fast-forward
-# regresses (DESIGN.md §4h).
+# disengages (zero burst hit rate on standalone_pim), if fast-forward
+# regresses (DESIGN.md §4h), or if event-driven completion delivery
+# disengages: on standalone_pim the reply-net + completion stages must
+# run at least 5x fewer ticks than the eager 2-ticks-per-stepped-cycle
+# baseline (DESIGN.md §4i). Tick counts are deterministic, so that gate
+# is structural — immune to host noise.
 HOTLOOP_REPS=1 HOTLOOP_FLOOR=25000 HOTLOOP_OUT="" \
   cargo run -q --release -p pimsim-bench --bin hotloop
 

@@ -18,11 +18,16 @@ const SCALE: f64 = 0.01;
 const BUDGET: u64 = 20_000_000;
 
 fn runner(policy: PolicyKind, vc_mode: VcMode, fast_forward: bool) -> Runner {
+    runner_ev(policy, vc_mode, fast_forward, true)
+}
+
+fn runner_ev(policy: PolicyKind, vc_mode: VcMode, fast_forward: bool, events: bool) -> Runner {
     let mut cfg = SystemConfig::default();
     cfg.noc.vc_mode = vc_mode;
     let mut r = Runner::new(cfg, policy);
     r.max_gpu_cycles = BUDGET;
     r.fast_forward = fast_forward;
+    r.event_delivery = events;
     r
 }
 
@@ -172,6 +177,63 @@ fn coexec_matches_across_ff_modes() {
             assert_eq!(on.pim_starved, off.pim_starved, "{ctx}: pim starved");
             assert_eq!(on.total_cycles, off.total_cycles, "{ctx}: total cycles");
             assert_mc_identical(&on.mc, &off.mc, &ctx);
+        }
+    }
+}
+
+/// Oracle property for the event-driven completion spine: with deferred,
+/// observability-gated delivery (`event_delivery = true`, the default)
+/// every observable of a run — total cycles, injections, merged
+/// controller stats — must be bit-identical to the eager per-tick reply
+/// path (`event_delivery = false`), and that must hold in both
+/// fast-forward modes. The matrix is deliberately completion-heavy: a
+/// pure PIM burst (every retirement is an out-of-band ack, the path the
+/// delivery gate defers) and a reply-saturated co-execution (deep reply
+/// queues keep the reply crossbar occupied, exercising the stage-6 skip
+/// gate's `replies_pending`/`has_traffic` horizon).
+#[test]
+fn event_delivery_matches_eager_oracle() {
+    for vc_mode in [VcMode::Shared, VcMode::SplitPim] {
+        // PIM burst: acks land essentially every cycle; deferral batches
+        // them at throttle-wake and tail boundaries.
+        let pim = |ff: bool, events: bool| {
+            runner_ev(PolicyKind::FrFcfs, vc_mode, ff, events)
+                .standalone(
+                    Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+                    0,
+                    true,
+                )
+                .expect("finishes")
+        };
+        let eager = pim(false, false);
+        for (ff, events) in [(false, true), (true, true), (true, false)] {
+            let ctx = format!("pim-burst/{vc_mode:?}/ff={ff}/events={events}");
+            let got = pim(ff, events);
+            assert_eq!(got.cycles, eager.cycles, "{ctx}: total cycles");
+            assert_eq!(
+                got.icnt_injections, eager.icnt_injections,
+                "{ctx}: injections"
+            );
+            assert_mc_identical(&got.mc, &eager.mc, &ctx);
+        }
+
+        // Reply saturation: a wide MEM kernel keeps the reply network's
+        // queues deep while the PIM co-runner floods the ack wires.
+        let co = |ff: bool, events: bool| {
+            runner_ev(PolicyKind::f3fs_competitive(), vc_mode, ff, events).coexec(
+                Box::new(gpu_kernel(GpuBenchmark(15), 32, SCALE)),
+                Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, SCALE)),
+                true,
+            )
+        };
+        let eager = co(false, false);
+        for (ff, events) in [(false, true), (true, true), (true, false)] {
+            let ctx = format!("reply-sat/{vc_mode:?}/ff={ff}/events={events}");
+            let got = co(ff, events);
+            assert_eq!(got.gpu_first_run, eager.gpu_first_run, "{ctx}: gpu first");
+            assert_eq!(got.pim_first_run, eager.pim_first_run, "{ctx}: pim first");
+            assert_eq!(got.total_cycles, eager.total_cycles, "{ctx}: total cycles");
+            assert_mc_identical(&got.mc, &eager.mc, &ctx);
         }
     }
 }

@@ -37,12 +37,18 @@ enum Workload {
     SoloMem,
     SoloPim,
     Coexec,
+    /// Reply-saturated: a MEM kernel spread over twice the SMs so the
+    /// reply crossbar and per-partition reply wires stay deep — pins the
+    /// stage-6 skip gate (`replies_pending` / `has_traffic`) of the
+    /// event-driven completion spine.
+    ReplySat,
 }
 
-const WORKLOADS: [(&str, Workload); 3] = [
+const WORKLOADS: [(&str, Workload); 4] = [
     ("mem_G3", Workload::SoloMem),
     ("pim_P1", Workload::SoloPim),
     ("coexec_G8_P2", Workload::Coexec),
+    ("replysat_G15", Workload::ReplySat),
 ];
 
 const VC_MODES: [(&str, VcMode); 2] = [("vc1", VcMode::Shared), ("vc2", VcMode::SplitPim)];
@@ -117,6 +123,18 @@ fn run_cell(
                     true,
                 )
                 .expect("solo PIM run finishes in budget");
+            (
+                vec![
+                    ("total_cycles", out.cycles),
+                    ("icnt_injections", out.icnt_injections),
+                ],
+                out.mc,
+            )
+        }
+        Workload::ReplySat => {
+            let out = r
+                .standalone(Box::new(gpu_kernel(GpuBenchmark(15), 32, SCALE)), 0, false)
+                .expect("reply-saturated run finishes in budget");
             (
                 vec![
                     ("total_cycles", out.cycles),
