@@ -6,6 +6,8 @@
 //!   footprints the fast sweep was tuned for).
 //! * `--budget <u64>` — per-simulation GPU-cycle budget (default 6M).
 //! * `--quick` — restrict sweeps to a representative kernel subset.
+//! * `--dram <spec>` — DRAM backend spec resolved through
+//!   `pimsim_dram::backend` (default `hbm`; e.g. `lp5x:ranks=4`).
 //!
 //! Output is aligned text (the paper's artifact plots the same series with
 //! matplotlib; we print the rows so they can be diffed).
@@ -13,7 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pimsim_types::SystemConfig;
+use pimsim_types::{DramBackendKind, SystemConfig};
 
 /// Common command-line options for figure binaries.
 #[derive(Debug, Clone)]
@@ -24,6 +26,8 @@ pub struct BenchArgs {
     pub budget: u64,
     /// Use a reduced kernel subset.
     pub quick: bool,
+    /// DRAM backend the sweep runs on (registry-resolved; default HBM).
+    pub dram: DramBackendKind,
     /// Optional path to also dump raw sweep points as CSV.
     pub csv: Option<std::path::PathBuf>,
 }
@@ -34,6 +38,7 @@ impl Default for BenchArgs {
             scale: 0.2,
             budget: 6_000_000,
             quick: false,
+            dram: DramBackendKind::default(),
             csv: None,
         }
     }
@@ -59,6 +64,11 @@ impl BenchArgs {
                         .unwrap_or_else(|| usage("--budget needs an integer"));
                 }
                 "--quick" => args.quick = true,
+                "--dram" => {
+                    let spec = it.next().unwrap_or_else(|| usage("--dram needs a spec"));
+                    args.dram = pimsim_dram::backend::parse_spec(&spec)
+                        .unwrap_or_else(|e| usage(&format!("--dram: {e}")));
+                }
                 "--csv" => {
                     args.csv = Some(std::path::PathBuf::from(
                         it.next().unwrap_or_else(|| usage("--csv needs a path")),
@@ -74,9 +84,10 @@ impl BenchArgs {
         args
     }
 
-    /// The Table I system configuration.
+    /// The system configuration for the selected backend (Table I GPU
+    /// side; memory side installed by the backend registry).
     pub fn system(&self) -> SystemConfig {
-        SystemConfig::default()
+        pimsim_dram::backend::system_config(self.dram)
     }
 }
 
@@ -84,7 +95,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--scale F] [--budget N] [--quick] [--csv FILE]");
+    eprintln!("usage: <bin> [--scale F] [--budget N] [--quick] [--dram SPEC] [--csv FILE]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 

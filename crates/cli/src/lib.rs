@@ -15,7 +15,7 @@
 
 use pimsim_core::PolicyKind;
 use pimsim_sim::Runner;
-use pimsim_types::{SystemConfig, VcMode};
+use pimsim_types::{DramBackendKind, SystemConfig, VcMode};
 use pimsim_workloads::{
     gpu_kernel, llm_scenario, pim_kernel, pim_suite::PimBenchmark, rodinia::GpuBenchmark,
 };
@@ -44,6 +44,8 @@ pub struct RunOpts {
     pub sms: usize,
     /// Scheduling policy.
     pub policy: PolicyKind,
+    /// DRAM backend (substrate), resolved through the backend registry.
+    pub dram: DramBackendKind,
     /// Interconnect configuration.
     pub vc: VcMode,
     /// Workload scale.
@@ -59,6 +61,7 @@ impl Default for RunOpts {
             pim: None,
             sms: 80,
             policy: PolicyKind::f3fs_competitive(),
+            dram: DramBackendKind::default(),
             vc: VcMode::Shared,
             scale: 0.2,
             budget: 4_000_000,
@@ -118,6 +121,13 @@ pub fn parse_policy(s: &str) -> Result<PolicyKind, ParseCliError> {
     PolicyKind::parse_spec(s).map_err(|e| ParseCliError(e.0))
 }
 
+/// Parses a DRAM backend spec — a registered name, optionally followed by
+/// `:key=value,...` parameters — by delegating to the backend registry
+/// ([`pimsim_dram::backend::parse_spec`]).
+pub fn parse_dram(s: &str) -> Result<DramBackendKind, ParseCliError> {
+    pimsim_dram::backend::parse_spec(s).map_err(|e| ParseCliError(e.0))
+}
+
 /// Parses the full argument list (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, ParseCliError> {
     let Some((sub, rest)) = args.split_first() else {
@@ -145,6 +155,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseCliError> {
                             .map_err(|_| ParseCliError("--sms needs an integer".into()))?
                     }
                     "--policy" => opts.policy = parse_policy(&value("--policy")?)?,
+                    "--dram" => opts.dram = parse_dram(&value("--dram")?)?,
                     "--vc" => {
                         opts.vc = match value("--vc")?.as_str() {
                             "1" | "vc1" | "VC1" => VcMode::Shared,
@@ -218,11 +229,13 @@ pub const USAGE: &str = "usage:
   pimsim collab [common flags]
 common flags:
   --policy <name[:key=value,...]>   (`pimsim list` prints every name)
+  --dram <name[:key=value,...]>     (DRAM backend, e.g. hbm, lp5x:ranks=4)
   --mem-cap N --pim-cap N           (f3fs variants only)
   --vc <1|2>  --scale F  --budget N";
 
 fn system_for(opts: &RunOpts) -> SystemConfig {
     let mut system = SystemConfig::default();
+    pimsim_dram::backend::configure(opts.dram, &mut system);
     system.noc.vc_mode = opts.vc;
     system
 }
@@ -269,6 +282,16 @@ pub fn run(cmd: Command) -> i32 {
             }
             println!("policies (--policy <name[:key=value,...]>):");
             for d in pimsim_core::policy::registry::descriptors() {
+                println!("  {:<20} {}", d.name, d.summary);
+                if !d.aliases.is_empty() {
+                    println!("  {:<20}   aliases: {}", "", d.aliases.join(", "));
+                }
+                for p in d.params {
+                    println!("  {:<20}   {}: {}", "", p.key, p.help);
+                }
+            }
+            println!("DRAM backends (--dram <name[:key=value,...]>):");
+            for d in pimsim_dram::backend::descriptors() {
                 println!("  {:<20} {}", d.name, d.summary);
                 if !d.aliases.is_empty() {
                     println!("  {:<20}   aliases: {}", "", d.aliases.join(", "));
@@ -521,6 +544,38 @@ mod tests {
         assert!(parse_pim("P10").is_err());
         assert!(parse_gpu("g20").is_ok());
         assert!(parse_pim("p9").is_ok());
+    }
+
+    #[test]
+    fn parses_dram_backend_spec() {
+        let cmd = parse_args(&args("standalone --pim P1 --dram lp5x:ranks=2")).unwrap();
+        let Command::Standalone(o) = cmd else {
+            panic!("wrong subcommand")
+        };
+        assert_eq!(o.dram, DramBackendKind::Lp5x { ranks: 2 });
+        let system = system_for(&o);
+        assert_eq!(system.dram.channels, 16);
+        assert_eq!(system.dram_backend, o.dram);
+    }
+
+    #[test]
+    fn parses_every_registered_backend_name() {
+        for d in pimsim_dram::backend::descriptors() {
+            let kind = parse_dram(d.name).unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            assert_eq!(kind, d.default_kind());
+            for alias in d.aliases {
+                assert_eq!(parse_dram(alias).unwrap(), kind, "alias {alias}");
+            }
+        }
+        assert!(parse_dram("ddr9").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_backend_params() {
+        let e = parse_args(&args("standalone --pim P1 --dram lp5x:ranks=banana")).unwrap_err();
+        assert!(e.0.contains("unsigned"), "{e}");
+        let e = parse_args(&args("standalone --pim P1 --dram hbm:ranks=4")).unwrap_err();
+        assert!(e.0.contains("no tunable parameter"), "{e}");
     }
 
     #[test]

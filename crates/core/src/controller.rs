@@ -328,7 +328,10 @@ impl MemoryController {
         let rf_per_bank = cfg.dram.pim_rf_entries * cfg.dram.pim_fus_per_channel / cfg.dram.banks;
         MemoryController {
             queues: McQueues::new(cfg.mc.mem_q_entries, cfg.mc.pim_q_entries),
-            channel: Channel::new(&cfg.dram, &cfg.timing),
+            // Constructed through the backend registry, so the controller
+            // services whichever substrate `cfg.dram_backend` names
+            // without knowing its kind.
+            channel: pimsim_dram::backend::channel_for(cfg),
             pim_engine: PimEngine::new(rf_per_bank.max(1)),
             mode: Mode::Mem,
             switch: None,

@@ -130,4 +130,10 @@ impl Simulator {
             self.cfg.dram.banks as u32,
         )
     }
+
+    /// Total DRAM energy under the configured backend's own coefficients
+    /// (HBM-class vs. LPDDR5X-class), via the backend registry.
+    pub fn backend_energy(&self) -> pimsim_dram::EnergyBreakdown {
+        self.total_energy(&pimsim_dram::backend::energy_for(&self.cfg))
+    }
 }

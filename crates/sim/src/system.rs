@@ -141,11 +141,10 @@ impl Simulator {
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: SystemConfig, policy: pimsim_core::PolicyKind) -> Self {
         cfg.validate().expect("invalid system configuration");
-        let mapper = Arc::new(AddressMapper::new(
-            &cfg.addr_map,
-            &cfg.dram,
-            cfg.dram_word_bytes(),
-        ));
+        // Decoder construction goes through the backend registry: the
+        // pipeline stages service whatever substrate `cfg.dram_backend`
+        // names without matching on the kind themselves.
+        let mapper = Arc::new(pimsim_dram::backend::mapper_for(&cfg));
         let (clock_num, clock_den) = cfg.dram_clock_ratio();
         Simulator {
             issue: IssueStage::new(cfg.gpu.num_sms, cfg.gpu.max_outstanding_mem_per_sm),

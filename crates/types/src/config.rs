@@ -197,18 +197,72 @@ impl Default for DramTiming {
     }
 }
 
-impl DramTiming {
-    /// Table I timing plus the constraints the paper's table omits, at
+/// A named, internally consistent timing parameterization.
+///
+/// This is the single constructor path for [`DramTiming`] values beyond
+/// `Default`: the `t_faw`/`t_wtr`/`t_refi`/`t_rfc` fields follow a
+/// "0 disables" convention, and hand-assembling them risks half-enabled
+/// fidelity constraints (e.g. a rolling four-activate window with no
+/// write-to-read turnaround). Each preset enables or disables those
+/// constraints as a documented group; ablations that want one knob at a
+/// time should start from a preset and zero individual fields explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimingPreset {
+    /// Table I of the paper (HBM at 850 MHz). tFAW/tWTR/refresh are all
+    /// disabled, matching the paper's simulator configuration.
+    Hbm2Table1,
+    /// Table I plus the constraints the paper's table omits, at
     /// HBM-plausible values: tFAW=16, tWTR=4, tREFI=3328 (3.9 µs at 850
     /// MHz), tRFC=298 (350 ns). Used by the fidelity ablation bench.
-    pub fn with_fidelity_extensions() -> Self {
-        DramTiming {
-            t_faw: 16,
-            t_wtr: 4,
-            t_refi: 3328,
-            t_rfc: 298,
-            ..Self::default()
+    Hbm2Fidelity,
+    /// LPDDR5X-PIM (LP5X-PIM Sim-style substrate): slower core timing in
+    /// DRAM cycles at 937.5 MHz, burst length 32 on a x16 bus
+    /// (`burst_cycles`=2), and the tFAW/tWTR constraints *enabled* —
+    /// LPDDR5X parts are activation-power limited, so a backend that
+    /// dropped the rolling-window paths would be silently wrong here.
+    /// Refresh stays disabled to match the paper's baseline methodology.
+    Lpddr5xPim,
+}
+
+impl DramTiming {
+    /// Builds the timing for a named [`TimingPreset`] — the one sanctioned
+    /// constructor for non-default timing sets (see the preset docs for
+    /// why the fidelity fields travel as a group).
+    pub fn preset(preset: TimingPreset) -> Self {
+        match preset {
+            TimingPreset::Hbm2Table1 => Self::default(),
+            TimingPreset::Hbm2Fidelity => DramTiming {
+                t_faw: 16,
+                t_wtr: 4,
+                t_refi: 3328,
+                t_rfc: 298,
+                ..Self::default()
+            },
+            TimingPreset::Lpddr5xPim => DramTiming {
+                t_ccds: 2,
+                t_ccdl: 4,
+                t_rrd: 4,
+                t_rcd: 15,
+                t_rp: 15,
+                t_ras: 34,
+                t_cl: 15,
+                t_wl: 7,
+                t_wr: 14,
+                t_rtpl: 6,
+                burst_cycles: 2,
+                t_faw: 16,
+                t_wtr: 5,
+                t_refi: 0,
+                t_rfc: 0,
+            },
         }
+    }
+
+    /// Table I timing plus the omitted constraints enabled
+    /// ([`TimingPreset::Hbm2Fidelity`]). Kept as a named shorthand for the
+    /// fidelity ablation bench.
+    pub fn with_fidelity_extensions() -> Self {
+        Self::preset(TimingPreset::Hbm2Fidelity)
     }
 }
 
@@ -323,6 +377,28 @@ impl Default for AddressMapConfig {
     }
 }
 
+/// Which DRAM backend a [`SystemConfig`] was configured for.
+///
+/// This is deliberately *pure data*: the name↔kind↔builder mapping, the
+/// per-backend presets, and every `match` over these variants live in the
+/// `pimsim-dram` backend registry (`pimsim_dram::backend`), mirroring how
+/// `PolicyKind` is only interpreted by `pimsim_core::policy::registry`.
+/// Crates outside `pimsim-dram` carry the kind around opaquely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DramBackendKind {
+    /// The paper's HBM substrate (Table I). The default backend; a
+    /// `SystemConfig::default()` is an HBM system.
+    #[default]
+    Hbm,
+    /// LPDDR5X-PIM: per-rank PIM units modeled rank-as-subchannel, with
+    /// LPDDR5X geometry and timing ([`TimingPreset::Lpddr5xPim`]).
+    Lp5x {
+        /// Ranks per physical channel; each rank is simulated as its own
+        /// channel (its own PIM units, row buffers, and timing state).
+        ranks: usize,
+    },
+}
+
 /// Full system configuration. `SystemConfig::default()` reproduces Table I.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -340,6 +416,10 @@ pub struct SystemConfig {
     pub mc: McConfig,
     /// Address-mapping scheme.
     pub addr_map: AddressMapConfig,
+    /// Which DRAM backend `dram`/`timing`/`addr_map` were configured for.
+    /// Set by the backend registry (`pimsim_dram::backend::configure`);
+    /// defaults to HBM, matching the Table I defaults of the other fields.
+    pub dram_backend: DramBackendKind,
 }
 
 /// Error returned by [`SystemConfig::validate`].

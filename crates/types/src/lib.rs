@@ -28,8 +28,8 @@ pub mod request;
 pub mod rng;
 
 pub use config::{
-    AddressMapConfig, CacheConfig, DramConfig, DramTiming, GpuConfig, McConfig, NocConfig,
-    PagePolicy, SystemConfig, VcMode,
+    AddressMapConfig, CacheConfig, DramBackendKind, DramConfig, DramTiming, GpuConfig, McConfig,
+    NocConfig, PagePolicy, SystemConfig, TimingPreset, VcMode,
 };
 pub use request::{
     AppId, DecodedAddr, Mode, PhysAddr, PimCommand, PimOpKind, Request, RequestId, RequestKind,

@@ -23,9 +23,22 @@ cargo clippy --all-targets --workspace -- -D warnings
 
 # Determinism contract of the sharded memory stage (DESIGN.md §4f): the
 # golden fixtures and the serial-vs-parallel matrix must hold at both a
-# serial and a multi-threaded pool width.
+# serial and a multi-threaded pool width. The golden_pipeline binary is
+# the per-backend golden pass: it checks the HBM matrix against
+# tests/fixtures/golden_pipeline.json (byte-identical across the
+# multi-backend refactor) AND the LP5X matrix against
+# tests/fixtures/golden_lp5x.json (DESIGN.md §4j).
 PIMSIM_THREADS=1 cargo test -q --release --test golden_pipeline --test parallel_equivalence
 PIMSIM_THREADS=4 cargo test -q --release --test golden_pipeline --test parallel_equivalence
+
+# Backend-registry smoke (DESIGN.md §4j): both registries must round-trip
+# names and agree on the error dialect, every registered backend must be
+# reachable from the CLI, and a short LP5X run must complete end to end —
+# the whole chain spec string → registry → SystemConfig → simulator.
+cargo test -q --release --test backend_registry
+cargo run -q --release -p pimsim-cli --bin pimsim -- list | grep -q "lp5x"
+cargo run -q --release -p pimsim-cli --bin pimsim -- \
+  standalone --pim P1 --dram lp5x:ranks=4 --scale 0.01 >/dev/null
 
 # Hot-loop smoke (DESIGN.md §4g): one rep of every scenario, with a
 # throughput floor an order of magnitude below the slowest recorded rate

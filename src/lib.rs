@@ -11,7 +11,8 @@
 //!
 //! * [`types`] — requests, addresses, configuration (Table I defaults).
 //! * [`stats`] — metrics: fairness index, system throughput, quartiles.
-//! * [`dram`] — HBM channel/bank timing model with all-bank PIM mode.
+//! * [`dram`] — channel/bank timing model with all-bank PIM mode, plus
+//!   the DRAM backend trait + registry (HBM, LPDDR5X-PIM).
 //! * [`noc`] — input-queued crossbar with VC1/VC2 and modified iSlip.
 //! * [`cache`] — sliced write-back L2 with MSHRs; PIM bypasses it.
 //! * [`gpu`] — SM kernel models (synthetic MEM kernels, block-structured

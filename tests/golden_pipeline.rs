@@ -7,6 +7,11 @@
 //! fast-forward both on and off. Any divergence means the component-port
 //! refactor changed observable behavior.
 //!
+//! A second, smaller matrix pins the LPDDR5X-PIM backend
+//! (`tests/fixtures/golden_lp5x.json`): the HBM fixture file stays
+//! byte-identical across the multi-backend refactor while the LP5X
+//! scenarios get their own golden history.
+//!
 //! Regenerate (only when an *intentional* behavior change lands) with:
 //!
 //! ```sh
@@ -26,6 +31,10 @@ const BUDGET: u64 = 20_000_000;
 
 fn fixture_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_pipeline.json")
+}
+
+fn lp5x_fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_lp5x.json")
 }
 
 /// The matrix axes. Policy names are the registry's canonical spellings,
@@ -53,8 +62,8 @@ const WORKLOADS: [(&str, Workload); 4] = [
 
 const VC_MODES: [(&str, VcMode); 2] = [("vc1", VcMode::Shared), ("vc2", VcMode::SplitPim)];
 
-fn runner(policy: PolicyKind, vc_mode: VcMode, fast_forward: bool) -> Runner {
-    let mut cfg = SystemConfig::default();
+fn runner(base: &SystemConfig, policy: PolicyKind, vc_mode: VcMode, fast_forward: bool) -> Runner {
+    let mut cfg = base.clone();
     cfg.noc.vc_mode = vc_mode;
     let mut r = Runner::new(cfg, policy);
     r.max_gpu_cycles = BUDGET;
@@ -96,12 +105,13 @@ fn mc_fields(mc: &McStats) -> Vec<(&'static str, u64)> {
 
 /// Runs one cell of the matrix and returns its observables.
 fn run_cell(
+    base: &SystemConfig,
     policy: PolicyKind,
     workload: Workload,
     vc_mode: VcMode,
     fast_forward: bool,
 ) -> Vec<(&'static str, u64)> {
-    let r = runner(policy, vc_mode, fast_forward);
+    let r = runner(base, policy, vc_mode, fast_forward);
     let (head, mc) = match workload {
         Workload::SoloMem => {
             let out = r
@@ -228,14 +238,15 @@ fn scenario_name(policy: &str, workload: &str, vc: &str) -> String {
 }
 
 fn run_matrix() -> Vec<(String, Vec<(&'static str, u64)>)> {
+    let base = SystemConfig::default();
     let mut records = Vec::new();
     for pname in POLICIES {
         for (wname, workload) in WORKLOADS {
             for (vname, vc) in VC_MODES {
                 let name = scenario_name(pname, wname, vname);
                 let pkind = PolicyKind::parse_spec(pname).expect("registered policy");
-                let on = run_cell(pkind, workload, vc, true);
-                let off = run_cell(pkind, workload, vc, false);
+                let on = run_cell(&base, pkind, workload, vc, true);
+                let off = run_cell(&base, pkind, workload, vc, false);
                 assert_eq!(on, off, "{name}: fast-forward on/off diverged");
                 records.push((name, on));
             }
@@ -244,18 +255,48 @@ fn run_matrix() -> Vec<(String, Vec<(&'static str, u64)>)> {
     records
 }
 
-#[test]
-#[cfg_attr(debug_assertions, ignore = "runs the full matrix; use --release")]
-fn pipeline_matches_golden_fixtures() {
-    let path = fixture_path();
-    let records = run_matrix();
+/// The LP5X matrix is smaller (the point is backend coverage, not a second
+/// full policy sweep): two policies, the three workload shapes that touch
+/// both request classes, shared-VC only.
+const LP5X_POLICIES: [&str; 2] = ["fr-fcfs", "f3fs"];
+const LP5X_WORKLOADS: [(&str, Workload); 3] = [
+    ("mem_G3", Workload::SoloMem),
+    ("pim_P1", Workload::SoloPim),
+    ("coexec_G8_P2", Workload::Coexec),
+];
+
+fn run_lp5x_matrix() -> Vec<(String, Vec<(&'static str, u64)>)> {
+    // Resolved through the backend registry, exactly like `--dram` on the
+    // CLI: no backend enum matching in this test.
+    let base = {
+        let kind = pim_coscheduling::dram::backend::parse_spec("lp5x:ranks=4")
+            .expect("registered backend");
+        pim_coscheduling::dram::backend::system_config(kind)
+    };
+    let mut records = Vec::new();
+    for pname in LP5X_POLICIES {
+        for (wname, workload) in LP5X_WORKLOADS {
+            let name = format!("lp5x/{}", scenario_name(pname, wname, "vc1"));
+            let pkind = PolicyKind::parse_spec(pname).expect("registered policy");
+            let on = run_cell(&base, pkind, workload, VcMode::Shared, true);
+            let off = run_cell(&base, pkind, workload, VcMode::Shared, false);
+            assert_eq!(on, off, "{name}: fast-forward on/off diverged");
+            records.push((name, on));
+        }
+    }
+    records
+}
+
+/// Regenerates (under `GOLDEN_REGEN=1`) or verifies `records` against the
+/// fixture at `path` — shared by the per-backend golden tests.
+fn check_against(path: &std::path::Path, records: &[(String, Vec<(&'static str, u64)>)]) {
     if std::env::var_os("GOLDEN_REGEN").is_some() {
         std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
-        std::fs::write(&path, to_json(&records)).expect("write fixtures");
+        std::fs::write(path, to_json(records)).expect("write fixtures");
         eprintln!("regenerated {}", path.display());
         return;
     }
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         panic!(
             "missing fixture {} ({e}); run with GOLDEN_REGEN=1",
             path.display()
@@ -267,7 +308,7 @@ fn pipeline_matches_golden_fixtures() {
         records.len(),
         "fixture matrix size changed; regenerate with GOLDEN_REGEN=1"
     );
-    for ((gname, gfields), (name, fields)) in golden.iter().zip(&records) {
+    for ((gname, gfields), (name, fields)) in golden.iter().zip(records) {
         assert_eq!(gname, name, "scenario order changed");
         assert_eq!(
             gfields.len(),
@@ -281,24 +322,37 @@ fn pipeline_matches_golden_fixtures() {
     }
 }
 
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs the full matrix; use --release")]
+fn pipeline_matches_golden_fixtures() {
+    check_against(&fixture_path(), &run_matrix());
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs the full matrix; use --release")]
+fn lp5x_pipeline_matches_golden_fixtures() {
+    check_against(&lp5x_fixture_path(), &run_lp5x_matrix());
+}
+
 /// The fixture file itself must round-trip through the parser, so a hand
 /// edit that breaks the format is caught even in debug runs.
 #[test]
 fn fixture_file_parses_if_present() {
-    let path = fixture_path();
-    let Ok(text) = std::fs::read_to_string(&path) else {
-        return; // not generated yet
-    };
-    let golden = parse_json(&text);
-    assert!(
-        !golden.is_empty(),
-        "fixture file exists but holds no records"
-    );
-    for (name, fields) in &golden {
-        assert!(!name.is_empty());
+    for path in [fixture_path(), lp5x_fixture_path()] {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // not generated yet
+        };
+        let golden = parse_json(&text);
         assert!(
-            fields.iter().any(|(k, _)| k == "total_cycles"),
-            "{name}: missing total_cycles"
+            !golden.is_empty(),
+            "fixture file exists but holds no records"
         );
+        for (name, fields) in &golden {
+            assert!(!name.is_empty());
+            assert!(
+                fields.iter().any(|(k, _)| k == "total_cycles"),
+                "{name}: missing total_cycles"
+            );
+        }
     }
 }

@@ -276,22 +276,37 @@ fn policies_never_select_an_empty_mode() {
 /// cycle is a complete check.
 #[test]
 fn earliest_issue_matches_brute_force_scan() {
-    let cfg = SystemConfig::default();
+    let hbm = SystemConfig::default();
+    let lp5x = pim_coscheduling::dram::backend::system_config(
+        pim_coscheduling::dram::backend::parse_spec("lp5x:ranks=4").expect("registered backend"),
+    );
+    // LP5X must exercise the rolling-window constraints that HBM's Table I
+    // preset leaves disabled (`t_faw`/`t_wtr` = 0); if the preset ever
+    // regressed to 0 the backend would silently bypass those paths.
+    assert!(
+        lp5x.timing.t_faw > 0 && lp5x.timing.t_wtr > 0,
+        "LP5X preset must enable tFAW/tWTR"
+    );
     let variants = [
-        DramTiming::default(),
-        DramTiming {
-            t_faw: 20,
-            t_wtr: 8,
-            ..DramTiming::default()
-        },
+        ("hbm", hbm.dram.clone(), DramTiming::default()),
+        (
+            "hbm+faw/wtr",
+            hbm.dram.clone(),
+            DramTiming {
+                t_faw: 20,
+                t_wtr: 8,
+                ..DramTiming::default()
+            },
+        ),
+        ("lp5x", lp5x.dram.clone(), lp5x.timing.clone()),
     ];
     let mut rng = SplitMix64::new(0x5EED);
-    for (v, timing) in variants.iter().enumerate() {
+    for (v, dram, timing) in variants.iter() {
         for case in 0..32 {
-            let mut ch = Channel::new(&cfg.dram, timing);
+            let mut ch = Channel::new(dram, timing);
             let mut now = 0u64;
             for step in 0..300 {
-                let bank = rng.next_range(cfg.dram.banks as u64) as usize;
+                let bank = rng.next_range(dram.banks as u64) as usize;
                 let row = rng.next_range(8) as u32;
                 let cmd = match rng.next_range(9) {
                     0 => DramCommand::Act { bank, row },
@@ -485,144 +500,155 @@ fn stall_memo_matches_full_step_oracle() {
 /// retired through burst plans.
 #[test]
 fn burst_retirement_matches_full_step_oracle() {
-    for refresh in [false, true] {
-        let mut cfg = SystemConfig::default();
-        if refresh {
-            cfg.timing.t_refi = 300;
-            cfg.timing.t_rfc = 40;
-        }
-        let m = AddressMapper::new(&cfg.addr_map, &cfg.dram, 32);
-        let mut swept_burst_ops = 0u64;
-        for kind in PolicyKind::all() {
-            let mut rng = SplitMix64::new(0xB0857 ^ u64::from(refresh));
-            let mut fast = MemoryController::new(&cfg, kind.build());
-            let mut oracle = MemoryController::new(&cfg, kind.build());
-            oracle.set_stall_enabled(false);
-            oracle.set_burst_enabled(false);
-            let ctx = |now: u64| format!("policy {} refresh {refresh} cycle {now}", kind.label());
-            let mut next_id = 0u64;
-            let mut pim_block = 0u64;
-            let mut pim_in_block = 0usize;
-            for now in 0..8_000u64 {
-                if now < 3_000 && rng.chance(0.35) {
-                    let is_pim = rng.chance(0.4);
+    // Swept over both registered DRAM backends: the LP5X preset keeps
+    // `t_faw`/`t_wtr` nonzero, so the closed form must agree with the
+    // per-cycle oracle under the rolling-window constraints too.
+    for spec in ["hbm", "lp5x:ranks=4"] {
+        let backend = pim_coscheduling::dram::backend::parse_spec(spec).expect("registered");
+        for refresh in [false, true] {
+            let mut cfg = pim_coscheduling::dram::backend::system_config(backend);
+            if refresh {
+                cfg.timing.t_refi = 300;
+                cfg.timing.t_rfc = 40;
+            }
+            let m = AddressMapper::new(&cfg.addr_map, &cfg.dram, 32);
+            let mut swept_burst_ops = 0u64;
+            for kind in PolicyKind::all() {
+                let mut rng = SplitMix64::new(0xB0857 ^ u64::from(refresh));
+                let mut fast = MemoryController::new(&cfg, kind.build());
+                let mut oracle = MemoryController::new(&cfg, kind.build());
+                oracle.set_stall_enabled(false);
+                oracle.set_burst_enabled(false);
+                let ctx = |now: u64| {
+                    format!(
+                        "{spec} policy {} refresh {refresh} cycle {now}",
+                        kind.label()
+                    )
+                };
+                let mut next_id = 0u64;
+                let mut pim_block = 0u64;
+                let mut pim_in_block = 0usize;
+                for now in 0..8_000u64 {
+                    if now < 3_000 && rng.chance(0.35) {
+                        let is_pim = rng.chance(0.4);
+                        assert_eq!(
+                            fast.can_accept(is_pim),
+                            oracle.can_accept(is_pim),
+                            "{}",
+                            ctx(now)
+                        );
+                        if fast.can_accept(is_pim) {
+                            let (req, decoded) = if is_pim {
+                                // Last op of each block stores (a row write,
+                                // exercising the burst's write-latency arm)
+                                // from entry 0, which the block's first op
+                                // always loaded.
+                                let store = pim_in_block == 3;
+                                let cmd = PimCommand {
+                                    op: if store {
+                                        PimOpKind::RfStore
+                                    } else {
+                                        PimOpKind::RfLoad
+                                    },
+                                    channel: 0,
+                                    row: (pim_block % 8) as u32,
+                                    col: (pim_in_block % 4) as u16,
+                                    rf_entry: if store { 0 } else { (pim_in_block % 8) as u8 },
+                                    block_start: pim_in_block == 0,
+                                    block_id: pim_block,
+                                };
+                                pim_in_block += 1;
+                                if pim_in_block == 4 {
+                                    pim_in_block = 0;
+                                    pim_block += 1;
+                                }
+                                (
+                                    Request::new(
+                                        RequestId(next_id),
+                                        AppId::PIM,
+                                        RequestKind::Pim(cmd),
+                                        PhysAddr(0),
+                                        0,
+                                        0,
+                                    ),
+                                    DecodedAddr {
+                                        channel: 0,
+                                        bank: 0,
+                                        row: cmd.row,
+                                        col: 0,
+                                    },
+                                )
+                            } else {
+                                let addr = PhysAddr(rng.next_range(1 << 20) * 32);
+                                let kind = if rng.chance(0.3) {
+                                    RequestKind::MemWrite
+                                } else {
+                                    RequestKind::MemRead
+                                };
+                                (
+                                    Request::new(RequestId(next_id), AppId::GPU, kind, addr, 0, 0),
+                                    m.decode(addr),
+                                )
+                            };
+                            next_id += 1;
+                            fast.enqueue(req, decoded, now);
+                            oracle.enqueue(req, decoded, now);
+                        }
+                    }
+                    assert_eq!(fast.pim_q_len(), oracle.pim_q_len(), "{}", ctx(now));
+                    let probe = fast.next_activity_cycle(now);
+                    if let Some(at) = probe {
+                        assert!(at >= now, "{}: probe {at} in the past", ctx(now));
+                    }
                     assert_eq!(
-                        fast.can_accept(is_pim),
-                        oracle.can_accept(is_pim),
+                        probe.is_none(),
+                        oracle.next_activity_cycle(now).is_none(),
+                        "{}: burst plan and oracle disagree on idleness",
+                        ctx(now)
+                    );
+                    fast.step(now);
+                    oracle.step(now);
+                    assert_eq!(
+                        fast.pop_completions(now),
+                        oracle.pop_completions(now),
                         "{}",
                         ctx(now)
                     );
-                    if fast.can_accept(is_pim) {
-                        let (req, decoded) = if is_pim {
-                            // Last op of each block stores (a row write,
-                            // exercising the burst's write-latency arm)
-                            // from entry 0, which the block's first op
-                            // always loaded.
-                            let store = pim_in_block == 3;
-                            let cmd = PimCommand {
-                                op: if store {
-                                    PimOpKind::RfStore
-                                } else {
-                                    PimOpKind::RfLoad
-                                },
-                                channel: 0,
-                                row: (pim_block % 8) as u32,
-                                col: (pim_in_block % 4) as u16,
-                                rf_entry: if store { 0 } else { (pim_in_block % 8) as u8 },
-                                block_start: pim_in_block == 0,
-                                block_id: pim_block,
-                            };
-                            pim_in_block += 1;
-                            if pim_in_block == 4 {
-                                pim_in_block = 0;
-                                pim_block += 1;
-                            }
-                            (
-                                Request::new(
-                                    RequestId(next_id),
-                                    AppId::PIM,
-                                    RequestKind::Pim(cmd),
-                                    PhysAddr(0),
-                                    0,
-                                    0,
-                                ),
-                                DecodedAddr {
-                                    channel: 0,
-                                    bank: 0,
-                                    row: cmd.row,
-                                    col: 0,
-                                },
-                            )
-                        } else {
-                            let addr = PhysAddr(rng.next_range(1 << 20) * 32);
-                            let kind = if rng.chance(0.3) {
-                                RequestKind::MemWrite
-                            } else {
-                                RequestKind::MemRead
-                            };
-                            (
-                                Request::new(RequestId(next_id), AppId::GPU, kind, addr, 0, 0),
-                                m.decode(addr),
-                            )
-                        };
-                        next_id += 1;
-                        fast.enqueue(req, decoded, now);
-                        oracle.enqueue(req, decoded, now);
-                    }
+                    assert_eq!(fast.mode(), oracle.mode(), "{}", ctx(now));
+                    // Stats must agree at EVERY cycle, not just at the end:
+                    // the simulator snapshots stats whenever a run stops, and
+                    // a stop can land mid-plan (kernel restarts truncate
+                    // runs). Eagerly accounting a whole plan at creation
+                    // passed the end-of-run check while skewing every
+                    // mid-plan snapshot — this is the assertion that pins
+                    // per-op accounting to the analytic issue ticks.
+                    assert_eq!(fast.stats(), oracle.stats(), "{}: stats skew", ctx(now));
+                    assert_eq!(
+                        fast.channel_stats(),
+                        oracle.channel_stats(),
+                        "{}: channel stats skew",
+                        ctx(now)
+                    );
                 }
-                assert_eq!(fast.pim_q_len(), oracle.pim_q_len(), "{}", ctx(now));
-                let probe = fast.next_activity_cycle(now);
-                if let Some(at) = probe {
-                    assert!(at >= now, "{}: probe {at} in the past", ctx(now));
-                }
-                assert_eq!(
-                    probe.is_none(),
-                    oracle.next_activity_cycle(now).is_none(),
-                    "{}: burst plan and oracle disagree on idleness",
-                    ctx(now)
+                assert_eq!(fast.stats(), oracle.stats(), "{} final stats", kind.label());
+                assert!(
+                    fast.is_idle(8_000),
+                    "{}: controller failed to drain",
+                    kind.label()
                 );
-                fast.step(now);
-                oracle.step(now);
                 assert_eq!(
-                    fast.pop_completions(now),
-                    oracle.pop_completions(now),
-                    "{}",
-                    ctx(now)
+                    oracle.step_mix().burst_ops,
+                    0,
+                    "{}: disabled oracle still planned bursts",
+                    kind.label()
                 );
-                assert_eq!(fast.mode(), oracle.mode(), "{}", ctx(now));
-                // Stats must agree at EVERY cycle, not just at the end:
-                // the simulator snapshots stats whenever a run stops, and
-                // a stop can land mid-plan (kernel restarts truncate
-                // runs). Eagerly accounting a whole plan at creation
-                // passed the end-of-run check while skewing every
-                // mid-plan snapshot — this is the assertion that pins
-                // per-op accounting to the analytic issue ticks.
-                assert_eq!(fast.stats(), oracle.stats(), "{}: stats skew", ctx(now));
-                assert_eq!(
-                    fast.channel_stats(),
-                    oracle.channel_stats(),
-                    "{}: channel stats skew",
-                    ctx(now)
-                );
+                swept_burst_ops += fast.step_mix().burst_ops;
             }
-            assert_eq!(fast.stats(), oracle.stats(), "{} final stats", kind.label());
             assert!(
-                fast.is_idle(8_000),
-                "{}: controller failed to drain",
-                kind.label()
+                swept_burst_ops > 0,
+                "{spec} refresh {refresh}: no policy ever engaged burst retirement"
             );
-            assert_eq!(
-                oracle.step_mix().burst_ops,
-                0,
-                "{}: disabled oracle still planned bursts",
-                kind.label()
-            );
-            swept_burst_ops += fast.step_mix().burst_ops;
         }
-        assert!(
-            swept_burst_ops > 0,
-            "refresh {refresh}: no policy ever engaged burst retirement"
-        );
     }
 }
 
