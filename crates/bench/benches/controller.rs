@@ -18,6 +18,7 @@ fn drive(policy: PolicyKind, cycles: u64) -> u64 {
     let mut mem_addr = 0u64;
     let mut pim_op = 0u64;
     let mut served = 0u64;
+    let mut drained = Vec::new();
     for now in 0..cycles {
         // Two MEM arrivals and two PIM arrivals per cycle, queue permitting.
         for _ in 0..2 {
@@ -60,7 +61,9 @@ fn drive(policy: PolicyKind, cycles: u64) -> u64 {
             }
         }
         mc.step(now);
-        served += mc.pop_completions(now).len() as u64;
+        drained.clear();
+        mc.pop_completions_into(now, &mut drained);
+        served += drained.len() as u64;
     }
     served
 }

@@ -25,7 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
 
 use pimsim_types::Cycle;
 
@@ -219,6 +220,164 @@ impl<T> Wire<T> {
     }
 }
 
+/// One timestamped entry of a [`Schedule`].
+///
+/// Ordering is by `(at, key)` ascending — `key` is a deterministic
+/// tiebreak (the paper pipeline uses request IDs) so two entries due the
+/// same cycle always pop in the same order regardless of push order, and
+/// `T` itself never needs `Ord`.
+#[derive(Debug, Clone)]
+struct ScheduleEntry<T> {
+    at: Cycle,
+    key: u64,
+    item: T,
+}
+
+impl<T> PartialEq for ScheduleEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.key == other.key
+    }
+}
+
+impl<T> Eq for ScheduleEntry<T> {}
+
+impl<T> PartialOrd for ScheduleEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for ScheduleEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so `BinaryHeap` (a max-heap) pops the earliest
+        // `(at, key)` first.
+        (other.at, other.key).cmp(&(self.at, self.key))
+    }
+}
+
+/// A time-ordered delivery queue: items pushed with a future timestamp
+/// become visible only once the consumer's clock reaches it.
+///
+/// This is the production-side dual of [`Wire`]: a producer that knows in
+/// closed form *when* each item matures (e.g. a burst plan's completion
+/// cycles) deposits them all at retire time, and the consumer drains
+/// exactly the due prefix each cycle — so the observable hand-off order
+/// is identical to an eager producer sending each item at its own tick.
+///
+/// # Example
+///
+/// ```
+/// use pimsim_component::Schedule;
+///
+/// let mut s: Schedule<&str> = Schedule::new();
+/// s.push(12, 1, "late");
+/// s.push(10, 7, "early");
+/// assert_eq!(s.next_at(), Some(10));
+/// assert!(!s.has_due(9));
+/// assert_eq!(s.pop_due(10), Some("early"));
+/// assert_eq!(s.pop_due(10), None, "the rest is still in the future");
+/// let mut out = Vec::new();
+/// s.drain_due_into(20, &mut out);
+/// assert_eq!(out, vec!["late"]);
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schedule<T> {
+    /// In-order arrivals: a push whose `(at, key)` is no earlier than the
+    /// back's appends here in O(1). Producers that deposit whole batches
+    /// in maturity order (a controller's retire-time ack batches) never
+    /// leave this lane, so the common path is a plain FIFO.
+    sorted: VecDeque<ScheduleEntry<T>>,
+    /// Out-of-order arrivals; pops merge with the sorted lane by
+    /// `(at, key)`.
+    heap: BinaryHeap<ScheduleEntry<T>>,
+}
+
+impl<T> Default for Schedule<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Schedule<T> {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Schedule {
+            sorted: VecDeque::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Deposits `item` to mature at cycle `at`. `key` breaks ties among
+    /// items due the same cycle (lower keys pop first) and must be unique
+    /// per in-flight item for deterministic order.
+    pub fn push(&mut self, at: Cycle, key: u64, item: T) {
+        let entry = ScheduleEntry { at, key, item };
+        match self.sorted.back() {
+            Some(back) if (at, key) < (back.at, back.key) => self.heap.push(entry),
+            _ => self.sorted.push_back(entry),
+        }
+    }
+
+    /// Whether the earliest entry lives in the sorted lane (ties cannot
+    /// happen: keys are unique per in-flight item).
+    fn head_is_sorted(&self) -> bool {
+        match (self.sorted.front(), self.heap.peek()) {
+            (Some(s), Some(h)) => (s.at, s.key) < (h.at, h.key),
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    /// The earliest entry across both lanes, by `(at, key)`.
+    fn peek_entry(&self) -> Option<&ScheduleEntry<T>> {
+        if self.head_is_sorted() {
+            self.sorted.front()
+        } else {
+            self.heap.peek()
+        }
+    }
+
+    /// Pops the earliest item due at or before `limit`, if any.
+    pub fn pop_due(&mut self, limit: Cycle) -> Option<T> {
+        self.peek_entry().filter(|e| e.at <= limit)?;
+        if self.head_is_sorted() {
+            self.sorted.pop_front().map(|e| e.item)
+        } else {
+            self.heap.pop().map(|e| e.item)
+        }
+    }
+
+    /// Appends every item due at or before `limit` to `out`, earliest
+    /// `(at, key)` first. Free when nothing is due.
+    pub fn drain_due_into(&mut self, limit: Cycle, out: &mut Vec<T>) {
+        while let Some(item) = self.pop_due(limit) {
+            out.push(item);
+        }
+    }
+
+    /// Whether any item is due at or before `limit` — the shared-borrow
+    /// pre-check consumers use before taking a mutable drain borrow.
+    pub fn has_due(&self, limit: Cycle) -> bool {
+        self.peek_entry().is_some_and(|e| e.at <= limit)
+    }
+
+    /// The maturity cycle of the earliest entry, if any.
+    pub fn next_at(&self) -> Option<Cycle> {
+        self.peek_entry().map(|e| e.at)
+    }
+
+    /// Entries held (due or future).
+    pub fn len(&self) -> usize {
+        self.sorted.len() + self.heap.len()
+    }
+
+    /// Whether the schedule holds nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty() && self.heap.is_empty()
+    }
+}
+
 /// A bundle of parallel [`Wire`]s — one lane per virtual channel.
 ///
 /// The staging queues of the paper's memory partitions are per-VC FIFOs
@@ -377,6 +536,59 @@ mod tests {
         assert_eq!(p.total_pushed(), 3);
         assert!(!p.is_empty());
         assert_eq!(p.lanes().map(Wire::len).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn schedule_orders_by_cycle_then_key() {
+        let mut s: Schedule<u32> = Schedule::new();
+        s.push(20, 5, 105);
+        s.push(10, 9, 209);
+        s.push(10, 2, 202);
+        s.push(15, 0, 300);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.next_at(), Some(10));
+        let mut out = Vec::new();
+        s.drain_due_into(15, &mut out);
+        assert_eq!(out, vec![202, 209, 300], "same-cycle ties break by key");
+        assert_eq!(s.next_at(), Some(20));
+        assert_eq!(s.pop_due(19), None);
+        assert_eq!(s.pop_due(20), Some(105));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn schedule_has_due_tracks_the_head() {
+        let mut s: Schedule<char> = Schedule::new();
+        assert!(!s.has_due(u64::MAX));
+        s.push(7, 0, 'a');
+        assert!(!s.has_due(6));
+        assert!(s.has_due(7));
+        assert_eq!(s.pop_due(7), Some('a'));
+        assert!(!s.has_due(u64::MAX));
+    }
+
+    #[test]
+    fn schedule_matches_eager_wire_order() {
+        // The equivalence the ack path relies on: delivering items from a
+        // schedule, draining the due prefix per tick, reproduces the exact
+        // order an eager producer gets by sending each item at its own
+        // tick (globally (at, key)-ascending).
+        let deliveries = [(3u64, 10u64), (1, 4), (3, 2), (1, 7), (2, 1)];
+        let mut eager: Vec<(Cycle, u64)> = deliveries.to_vec();
+        eager.sort_unstable();
+        let mut s: Schedule<u64> = Schedule::new();
+        for &(at, key) in &deliveries {
+            s.push(at, key, key);
+        }
+        let mut got = Vec::new();
+        for now in 0..=3 {
+            while let Some(k) = s.pop_due(now) {
+                got.push((now, k));
+            }
+        }
+        let eager: Vec<u64> = eager.into_iter().map(|(_, k)| k).collect();
+        let got: Vec<u64> = got.into_iter().map(|(_, k)| k).collect();
+        assert_eq!(got, eager);
     }
 
     /// A minimal component exercising the trait contract, including the

@@ -205,6 +205,16 @@ pub struct StepMix {
     /// Kernel completions retired (PIM acks + MEM replies). The
     /// denominator of the ticks-per-completion structural gate.
     pub completions_delivered: u64,
+    /// Retire-time completion batches emitted (one per burst plan whose
+    /// acks were deposited as a timestamped batch; DESIGN.md §4k).
+    pub ack_batches: u64,
+    /// PIM completions emitted through the retire-time batch path instead
+    /// of the per-tick completion heap. Zero means the batching path
+    /// silently disengaged — the tier-1 smoke fails on that.
+    pub acks_batched: u64,
+    /// Burst-plan windows bulk-replayed by `plan_replay_span` (each span
+    /// covers many `burst_retired` ticks in one call).
+    pub plan_spans_replayed: u64,
 }
 
 impl StepMix {
@@ -230,6 +240,9 @@ impl pimsim_stats::Mergeable for StepMix {
         self.ticks_reply_net += o.ticks_reply_net;
         self.ticks_completion += o.ticks_completion;
         self.completions_delivered += o.completions_delivered;
+        self.ack_batches += o.ack_batches;
+        self.acks_batched += o.acks_batched;
+        self.plan_spans_replayed += o.plan_spans_replayed;
     }
 }
 
@@ -317,6 +330,27 @@ pub struct MemoryController {
     /// `channel.row_epoch()` at the last `open_rows` rebuild; the scratch
     /// view is only rebuilt when the channel's row state actually moved.
     open_rows_epoch: u64,
+    /// Retire-time ack batching (DESIGN.md §4k): with it on, PIM
+    /// completions bypass the per-tick `completions` heap and are
+    /// deposited — already timestamped — into `ack_batch` the moment
+    /// their data-completion cycle is known in closed form (at burst
+    /// retirement, or at single-op issue). The owner harvests the batch
+    /// after every state-mutating call and re-sorts it into a
+    /// time-ordered delivery schedule, so each ack is still *observable*
+    /// at its exact tick. `false` is the eager oracle path.
+    ack_batching: bool,
+    /// Timestamped PIM completions awaiting harvest by the owner, in
+    /// deposit order — ascending `at` within a plan, so a FIFO harvest
+    /// hands the owner's delivery schedule a monotone stream (its O(1)
+    /// sorted lane, no heap traffic).
+    ack_batch: VecDeque<Completion>,
+    /// Monotone max `at` over all batched PIM completions ever emitted.
+    /// While `now <= ack_horizon` the controller reports itself non-idle,
+    /// replicating exactly the cycles the eager path keeps a PIM
+    /// completion in its heap — the idle fast path and the stats
+    /// integrals therefore match the eager oracle bit for bit. `0` means
+    /// no batched ack was ever emitted (real completions land at `at > 0`).
+    ack_horizon: Cycle,
     mix: StepMix,
     stats: McStats,
 }
@@ -357,6 +391,13 @@ impl MemoryController {
             burst_completions: Vec::new(),
             plan_ops: VecDeque::new(),
             open_rows_epoch: u64::MAX,
+            // Off at the raw-controller level: a bare `MemoryController`
+            // has no harvesting owner, so batched acks would pile up
+            // unobserved (and `is_idle` would pin false). The simulator's
+            // partition owns a delivery schedule and turns this on.
+            ack_batching: false,
+            ack_batch: VecDeque::new(),
+            ack_horizon: 0,
             mix: StepMix::default(),
             stats: McStats::default(),
         }
@@ -384,6 +425,30 @@ impl MemoryController {
             "cannot toggle burst retirement mid-plan"
         );
         self.burst_enabled = enabled;
+    }
+
+    /// Enables (or disables) retire-time ack batching. Off by default at
+    /// this level — only an owner that harvests `pop_batched_ack` into a
+    /// time-ordered delivery schedule (the simulator's partition) may
+    /// turn it on; with it off every PIM completion goes through the
+    /// per-tick `completions` heap — the eager oracle the
+    /// `ack_batching_matches_per_tick_oracle` test compares the batched
+    /// path against. Call before stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a burst plan is live or a batch awaits harvest.
+    pub fn set_ack_batching(&mut self, enabled: bool) {
+        assert!(
+            self.plan_reserved == 0 && self.ack_batch.is_empty(),
+            "cannot toggle ack batching mid-plan"
+        );
+        self.ack_batching = enabled;
+    }
+
+    /// Whether retire-time ack batching is on.
+    pub fn ack_batching(&self) -> bool {
+        self.ack_batching
     }
 
     /// How this controller's cycles were serviced (full steps vs memo
@@ -449,20 +514,26 @@ impl MemoryController {
     }
 
     /// True when no requests are queued, in flight, or awaiting pickup.
+    /// In batched mode an already-emitted PIM ack keeps the controller
+    /// non-idle until its data-completion cycle passes — exactly the
+    /// cycles the eager path holds it in the `completions` heap — so the
+    /// idle fast path accrues identical stats in both modes.
     pub fn is_idle(&self, now: Cycle) -> bool {
         self.queues.is_empty()
             && self.channel.quiescent(now)
             && self.switch.is_none()
             && self.completions.is_empty()
+            && self.ack_batch.is_empty()
+            && (!self.ack_batching || self.ack_horizon == 0 || now > self.ack_horizon)
     }
 
-    /// Pops all completions with `at <= now`.
-    pub fn pop_completions(&mut self, now: Cycle) -> Vec<Completion> {
-        let mut out = Vec::new();
+    /// Appends all completions with `at <= now` to `out` — the
+    /// scratch-buffer form of the old Vec-per-call `pop_completions`, so
+    /// per-tick consumers reuse one buffer across the whole run.
+    pub fn pop_completions_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
         while let Some(c) = self.pop_completion_before(now) {
             out.push(c);
         }
-        out
     }
 
     /// Pops the earliest completion with `at <= now`, if any — the
@@ -473,6 +544,29 @@ impl MemoryController {
             return self.completions.pop();
         }
         None
+    }
+
+    /// Takes the oldest completion out of the retire-time ack batch —
+    /// deposit order, so the stream is ascending `at` within a plan and
+    /// the owner's delivery schedule absorbs it on its O(1) sorted lane.
+    /// Harvest until `None` after every call that can issue PIM work
+    /// ([`MemoryController::step`],
+    /// [`MemoryController::plan_replay_span`]).
+    pub fn pop_batched_ack(&mut self) -> Option<Completion> {
+        self.ack_batch.pop_front()
+    }
+
+    /// Routes a PIM completion: into the retire-time batch when batching
+    /// is on (timestamped, harvested by the owner), into the per-tick
+    /// heap otherwise (the eager oracle path).
+    fn push_pim_completion(&mut self, req: Request, at: Cycle) {
+        if self.ack_batching {
+            self.ack_batch.push_back(Completion { req, at });
+            self.ack_horizon = self.ack_horizon.max(at);
+            self.mix.acks_batched += 1;
+        } else {
+            self.completions.push(Completion { req, at });
+        }
     }
 
     /// The earliest cycle at or after `now` at which this controller can
@@ -776,6 +870,128 @@ impl MemoryController {
         true
     }
 
+    /// Attempts to replay the whole DRAM-tick span `[first, first+ticks)`
+    /// inside a live burst-plan window at once — the plan-window dual of
+    /// [`MemoryController::quiet_replay_span`], and the bulk step the
+    /// retire-time ack batch licenses: with every completion already
+    /// emitted at retirement, the only per-tick work left in the window
+    /// is stats integrals and the per-op issue observables, both of which
+    /// advance here in O(ops in span) instead of O(ticks). Succeeds only
+    /// in batched mode (the eager oracle must hand each completion off at
+    /// its own tick), only when the span lies strictly inside the plan
+    /// window, and only when no heap completion (an internal MEM
+    /// writeback) falls due in it. Returns `false` with no state change
+    /// otherwise.
+    pub fn plan_replay_span(&mut self, first: Cycle, ticks: u64) -> bool {
+        if ticks == 0 {
+            return true;
+        }
+        if !self.ack_batching || first >= self.plan_until {
+            return false;
+        }
+        let last = first + (ticks - 1);
+        if last >= self.plan_until {
+            return false;
+        }
+        if self.completions.peek().is_some_and(|c| c.at <= last) {
+            return false;
+        }
+        // Same invariants as `plan_replay_cycle`: plans never meet a
+        // refresh, and PIM mode holds for the whole window.
+        debug_assert!(!self.channel.refresh_pending() && last < self.channel.next_refresh());
+        debug_assert!(self.switch.is_none());
+        self.stats.cycles += ticks;
+        self.stats.mem_q_occupancy_sum += self.queues.mem_len() as u64 * ticks;
+        self.stats.blp_sum += self.channel.num_banks() as u64 * ticks;
+        self.stats.active_cycles += ticks;
+        self.stats.cycles_pim_mode += ticks;
+        // PIM occupancy is piecewise-constant between issue-stride ticks,
+        // sampled before each tick's issue — segment `[t, issue]` uses the
+        // pre-issue reservation count, then the op issues and the count
+        // drops (exactly `plan_replay_cycle`'s sample-then-issue order).
+        let mut t = first;
+        loop {
+            let off = (t - self.plan_first) % self.plan_stride;
+            let next_issue = if off == 0 {
+                t
+            } else {
+                t + (self.plan_stride - off)
+            };
+            let seg_last = next_issue.min(last);
+            self.stats.pim_q_occupancy_sum +=
+                (self.queues.pim_len() + self.plan_reserved) as u64 * (seg_last - t + 1);
+            if next_issue > last {
+                break;
+            }
+            debug_assert!(self.plan_reserved > 0, "plan window outlived its ops");
+            self.plan_reserved -= 1;
+            self.issue_planned_op(next_issue);
+            if next_issue == last {
+                break;
+            }
+            t = next_issue + 1;
+        }
+        self.mix.burst_retired += ticks;
+        self.mix.plan_spans_replayed += 1;
+        true
+    }
+
+    /// A sound lower bound on (completion cycle − issue cycle) for every
+    /// column command this controller's channel can issue: reads complete
+    /// at `t_cl (+ burst)`, writes and PIM writes at `t_wl + burst`, PIM
+    /// reads at `t_cl` — so nothing ever completes earlier than
+    /// `min(t_cl, t_wl + burst)` after its issue tick. The deferral
+    /// machinery leans on this: any issue a deferred tick would have made
+    /// cannot produce an observable completion for at least this many
+    /// ticks, so a window no longer than this is always replayable.
+    pub fn min_completion_latency(&self) -> Cycle {
+        let (_, read_lat, write_lat) = self.channel.pim_burst_timing();
+        let l_min = read_lat.min(write_lat);
+        debug_assert!(l_min >= 1, "a zero-latency completion breaks deferral");
+        l_min
+    }
+
+    /// How far the owner may defer this controller's DRAM ticks, given
+    /// the next tick to service is `from`: every tick in
+    /// `[from, horizon)` is guaranteed to be reproducible later —
+    /// in O(1) through [`MemoryController::quiet_replay_span`] /
+    /// [`MemoryController::plan_replay_span`] / the idle fast path when
+    /// the regime allows, by exact per-tick [`MemoryController::step`]
+    /// replay otherwise — with no completion falling due inside the
+    /// window. Arrivals void the deferral on the owner's side.
+    /// `Some(Cycle::MAX)` means the controller is idle and stays idle
+    /// absent arrivals; `None` means batching is off (the eager oracle
+    /// needs its per-tick hand-off).
+    ///
+    /// The bound is built from two pieces, taking the minimum:
+    /// - the earliest heap completion (internal MEM fills/writebacks),
+    ///   which must be popped at its exact tick, and
+    /// - the regime bound: no *new* completion can fall due before the
+    ///   earliest possible issue plus
+    ///   [`MemoryController::min_completion_latency`]. Inside a plan
+    ///   window the next scheduling decision is at `plan_until` (plan
+    ///   acks were already batched at retire time); inside an armed
+    ///   stall window, at `stall_until`; an actively scheduling
+    ///   controller can issue as soon as `from` itself.
+    pub fn bulk_horizon(&self, from: Cycle) -> Option<Cycle> {
+        if !self.ack_batching {
+            return None;
+        }
+        if self.is_idle(from) {
+            return Some(Cycle::MAX);
+        }
+        let l_min = self.min_completion_latency();
+        let mem_due = self.completions.peek().map_or(Cycle::MAX, |c| c.at);
+        let regime = if from < self.plan_until {
+            self.plan_until.saturating_add(l_min)
+        } else if from < self.stall_until {
+            self.stall_until.saturating_add(l_min)
+        } else {
+            from.saturating_add(l_min)
+        };
+        Some(regime.min(mem_due))
+    }
+
     fn integrate_blp(&mut self, now: Cycle) {
         // Bank-level parallelism counts banks with at least one
         // outstanding request (queued or with data in flight), averaged
@@ -1016,10 +1232,7 @@ impl MemoryController {
                 self.stats
                     .pim_latency
                     .record(done.saturating_sub(q.arrived));
-                self.completions.push(Completion {
-                    req: q.req,
-                    at: done,
-                });
+                self.push_pim_completion(q.req, done);
                 return None;
             }
             return Some(self.channel.earliest_issue(op, now).unwrap_or(Cycle::MAX));
@@ -1128,7 +1341,16 @@ impl MemoryController {
         for &done in dones.iter() {
             let q = self.queues.pop_pim().expect("planned ops are queued");
             let bypassed = oldest_mem.is_some_and(|mem_age| mem_age < q.age);
+            // The whole plan's completions are known right now; in batched
+            // mode they leave as one retire-time timestamped batch and the
+            // plan window never ticks to produce them.
+            if self.ack_batching {
+                self.push_pim_completion(q.req, done);
+            }
             self.plan_ops.push_back((q, done, bypassed));
+        }
+        if self.ack_batching {
+            self.mix.ack_batches += 1;
         }
         self.burst_writes = writes;
         self.burst_completions = dones;
@@ -1171,9 +1393,13 @@ impl MemoryController {
         self.stats
             .pim_latency
             .record(done.saturating_sub(q.arrived));
-        self.completions.push(Completion {
-            req: q.req,
-            at: done,
-        });
+        // In batched mode the completion already left with the plan's
+        // retire-time batch; only the eager oracle hands it off here.
+        if !self.ack_batching {
+            self.completions.push(Completion {
+                req: q.req,
+                at: done,
+            });
+        }
     }
 }

@@ -26,7 +26,7 @@
 //! let mut done = Vec::new();
 //! for cycle in 0..200 {
 //!     mc.step(cycle);
-//!     done.extend(mc.pop_completions(cycle));
+//!     mc.pop_completions_into(cycle, &mut done);
 //! }
 //! assert_eq!(done.len(), 1);
 //! ```
@@ -102,7 +102,7 @@ mod tests {
         let mut done = Vec::new();
         for now in 0..limit {
             mc.step(now);
-            done.extend(mc.pop_completions(now));
+            mc.pop_completions_into(now, &mut done);
             if mc.is_idle(now) {
                 return done;
             }
@@ -306,9 +306,10 @@ mod tests {
             10,
         );
         let mut switched = false;
+        let mut drained = Vec::new();
         for now in 10..400 {
             mc.step(now);
-            let _ = mc.pop_completions(now);
+            mc.pop_completions_into(now, &mut drained);
             if mc.mode() == Mode::Pim {
                 switched = true;
                 break;
@@ -343,7 +344,7 @@ mod tests {
         let mut done = Vec::new();
         for now in 0..5_000 {
             mc.step(now);
-            done.extend(mc.pop_completions(now));
+            mc.pop_completions_into(now, &mut done);
             if mc.is_idle(now) {
                 break;
             }
@@ -373,9 +374,10 @@ mod tests {
             Default::default(),
             0,
         );
+        let mut drained = Vec::new();
         for now in 0..400 {
             mc.step(now);
-            let _ = mc.pop_completions(now);
+            mc.pop_completions_into(now, &mut drained);
         }
         let s = mc.stats();
         assert_eq!(s.switches_mem_to_pim, 1);
@@ -407,9 +409,10 @@ mod tests {
         assert_eq!(da.bank, db.bank);
         assert_ne!(da.row, db.row);
         mc.enqueue(b, db, 0);
+        let mut drained = Vec::new();
         for now in 0..800 {
             mc.step(now);
-            let _ = mc.pop_completions(now);
+            mc.pop_completions_into(now, &mut drained);
             if mc.is_idle(now) {
                 break;
             }

@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 
 use pimsim_cache::{AccessOutcome, CacheSlice};
-use pimsim_component::{Component, Port, Wire};
+use pimsim_component::{Component, Port, Schedule, Wire};
 use pimsim_core::{Completion, MemoryController, SchedulePolicy};
 use pimsim_dram::AddressMapper;
 use pimsim_types::{Cycle, DecodedAddr, Request, RequestId, RequestKind, SystemConfig, VcMode};
@@ -65,8 +65,21 @@ pub struct Partition {
     pending_writebacks: VecDeque<Request>,
     /// MEM completions awaiting injection into the reply network.
     reply: Wire<Request>,
-    /// PIM acks awaiting credit return to the kernel.
-    acks: Wire<Request>,
+    /// PIM acks awaiting credit return to the kernel, time-ordered by
+    /// data-completion cycle: retire-time batching deposits a whole burst
+    /// plan's acks here the moment the plan is created, and the
+    /// completion stage drains only the due prefix each cycle — so each
+    /// ack is observable at exactly the tick the eager per-tick path
+    /// would have delivered it (DESIGN.md §4k).
+    acks: Schedule<Request>,
+    /// Non-PIM requests currently staged across the ingress and L2→DRAM
+    /// ports — an O(1) mirror of scanning both ports, kept so the
+    /// pure-PIM test in [`Partition::bulk_horizon`] costs nothing on the
+    /// per-eject horizon invalidation path. Updated at every port
+    /// entry/exit; pushing through [`Partition::ingress_mut`] bypasses
+    /// the accounting (the debug cross-check in `bulk_horizon` trips if
+    /// a driver does that and then defers).
+    staged_mem: usize,
     /// Round-robin pointers for lane service.
     rr_icnt: usize,
     rr_l2dram: usize,
@@ -95,7 +108,8 @@ impl Partition {
             pending_fills: VecDeque::new(),
             pending_writebacks: VecDeque::new(),
             reply: Wire::unbounded(),
-            acks: Wire::unbounded(),
+            acks: Schedule::new(),
+            staged_mem: 0,
             rr_icnt: 0,
             rr_l2dram: 0,
             next_internal_id: 0,
@@ -171,13 +185,15 @@ impl Partition {
         &mut self.reply
     }
 
-    /// The PIM ack wire (out-of-band credit returns).
-    pub fn acks(&self) -> &Wire<Request> {
+    /// The PIM ack schedule (out-of-band credit returns, time-ordered by
+    /// completion cycle).
+    pub fn acks(&self) -> &Schedule<Request> {
         &self.acks
     }
 
-    /// Mutable access to the ack wire (the completion stage drains it).
-    pub fn acks_mut(&mut self) -> &mut Wire<Request> {
+    /// Mutable access to the ack schedule (the completion stage drains
+    /// the due prefix).
+    pub fn acks_mut(&mut self) -> &mut Schedule<Request> {
         &mut self.acks
     }
 
@@ -199,7 +215,11 @@ impl Partition {
     /// Accepts a request from the interconnect on `vc`, returning whether
     /// the ingress lane had credit (the crossbar's eject hand-off).
     pub fn try_accept(&mut self, vc: usize, req: Request) -> bool {
-        self.ingress.lane_mut(vc).try_send(req).is_ok()
+        let accepted = self.ingress.lane_mut(vc).try_send(req).is_ok();
+        if accepted && !req.kind.is_pim() {
+            self.staged_mem += 1;
+        }
+        accepted
     }
 
     /// One GPU-clock step of the L2 stage. Fill and writeback IDs are
@@ -239,6 +259,7 @@ impl Partition {
         while !self.pending_writebacks.is_empty() && self.to_dram.lane(vc).can_accept() {
             let wb = self.pending_writebacks.pop_front().expect("nonempty");
             self.to_dram.lane_mut(vc).send(wb);
+            self.staged_mem += 1;
             self.stats.writebacks_sent += 1;
         }
     }
@@ -296,10 +317,13 @@ impl Partition {
         match self.l2.access(head, now) {
             AccessOutcome::Hit => {
                 self.ingress.lane_mut(vc).recv();
+                self.staged_mem -= 1;
                 self.l2_delay.push_back((now + self.l2.latency(), head));
                 true
             }
             AccessOutcome::MissAllocated => {
+                // The head leaves the ingress and its fill enters the
+                // L2→DRAM port: staged_mem is unchanged.
                 self.ingress.lane_mut(vc).recv();
                 let id = self.mint_internal_id();
                 let fill = Request::new(
@@ -316,6 +340,7 @@ impl Partition {
             }
             AccessOutcome::MissMerged => {
                 self.ingress.lane_mut(vc).recv();
+                self.staged_mem -= 1;
                 true
             }
             AccessOutcome::Blocked => false,
@@ -358,6 +383,9 @@ impl Partition {
                     continue;
                 }
                 self.to_dram.lane_mut(vc).recv();
+                if !is_pim {
+                    self.staged_mem -= 1;
+                }
                 let decoded = match head.kind {
                     RequestKind::Pim(cmd) => DecodedAddr {
                         channel: cmd.channel,
@@ -384,9 +412,19 @@ impl Partition {
             }
         }
         self.mc.step(dram_now);
-        while let Some(Completion { req, .. }) = self.mc.pop_completion_before(dram_now) {
+        self.harvest_completions(dram_now);
+    }
+
+    /// Harvests the controller's retire-time ack batch into the
+    /// time-ordered schedule and routes matured heap completions — the
+    /// shared tail of every step that can advance the controller.
+    fn harvest_completions(&mut self, dram_now: Cycle) {
+        while let Some(c) = self.mc.pop_batched_ack() {
+            self.acks.push(c.at, c.req.id.0, c.req);
+        }
+        while let Some(Completion { req, at }) = self.mc.pop_completion_before(dram_now) {
             match req.kind {
-                RequestKind::Pim(_) => self.acks.send(req),
+                RequestKind::Pim(_) => self.acks.push(at, req.id.0, req),
                 RequestKind::MemRead => self.pending_fills.push_back(req),
                 RequestKind::MemWrite => {} // writeback retired
             }
@@ -407,11 +445,129 @@ impl Partition {
         if ticks == 0 {
             return;
         }
-        if self.to_dram.is_empty() && self.mc.quiet_replay_span(first, ticks) {
+        if self.to_dram.is_empty()
+            && (self.mc.quiet_replay_span(first, ticks) || self.mc.plan_replay_span(first, ticks))
+        {
+            // Neither bulk replay creates completions: a plan's acks left
+            // as a batch at retirement, and quiet spans hold none by
+            // construction — nothing to harvest.
             return;
         }
         for t in 0..ticks {
             self.step_dram(first + t, mapper);
+        }
+    }
+
+    /// Whether the GPU-clock L2 front half has nothing to do — a
+    /// [`Partition::step_l2`] call would provably mutate nothing. The
+    /// outbound reply wire is deliberately excluded: the reply network
+    /// drains it without any L2 involvement.
+    pub fn l2_quiet(&self) -> bool {
+        self.ingress.is_empty()
+            && self.l2_delay.is_empty()
+            && self.pending_fills.is_empty()
+            && self.pending_writebacks.is_empty()
+    }
+
+    /// Whether any staged request in `port` is a MEM (non-PIM) request.
+    fn port_has_mem(port: &Port<Request>) -> bool {
+        port.lanes()
+            .any(|lane| lane.iter().any(|r| !r.kind.is_pim()))
+    }
+
+    /// How far the memory stage may defer this partition's servicing
+    /// (both the L2 front half and DRAM ticks), given the next
+    /// unserviced DRAM tick is `from`: every tick in `[from, horizon)`
+    /// is reproducible later by [`Partition::replay_spans`] with
+    /// bit-identical state and no observable (reply, ack delivery, fill)
+    /// surfacing inside the window — provided no request is ejected into
+    /// the partition in between (the memory stage re-derives the horizon
+    /// on any `partition_mut` access). `None` means the partition needs
+    /// live per-cycle service.
+    ///
+    /// MEM-side work refuses deferral outright: L2 hits, fills, and
+    /// writebacks push replies at cycle granularity. A *pure-PIM*
+    /// pipeline (staged PIM requests in the ingress or L2→DRAM ports)
+    /// is deferrable: PIM bypasses the L2, touches no reply wire, and
+    /// every ack it can produce completes at least
+    /// [`MemoryController::min_completion_latency`] ticks after the
+    /// issue its ingest enables — so the horizon is capped at
+    /// `from + L_min` whenever the pipeline is non-empty. The one
+    /// coupling to MEM state is the reply-wire backpressure threshold in
+    /// the L2 service loop: while the wire sits below `REPLY_OUT_CAP`
+    /// and only drains (nothing in a pure-PIM window pushes it), the
+    /// threshold check resolves identically live and at replay; at or
+    /// above the cap the stall could lift mid-window, so defer is
+    /// refused.
+    pub fn bulk_horizon(&self, from: Cycle) -> Option<Cycle> {
+        if !self.l2_delay.is_empty()
+            || !self.pending_fills.is_empty()
+            || !self.pending_writebacks.is_empty()
+        {
+            return None;
+        }
+        let pipeline = !self.ingress.is_empty() || !self.to_dram.is_empty();
+        debug_assert_eq!(
+            self.staged_mem > 0,
+            Self::port_has_mem(&self.ingress) || Self::port_has_mem(&self.to_dram),
+            "staged_mem counter out of sync with the port contents"
+        );
+        if pipeline && (self.reply.len() >= REPLY_OUT_CAP || self.staged_mem > 0) {
+            return None;
+        }
+        let mut horizon = self.mc.bulk_horizon(from)?;
+        if pipeline {
+            horizon = horizon.min(from.saturating_add(self.mc.min_completion_latency()));
+        }
+        Some(horizon)
+    }
+
+    /// Replays deferred stage visits `(gpu_cycle, first_dram_tick,
+    /// dram_ticks)` — the catch-up half of the
+    /// [`Partition::bulk_horizon`] contract. With the pipeline frozen
+    /// (nothing staged in the ports and a quiet L2 front half — deferral
+    /// voids on ejects, so nothing changed since the horizon was taken),
+    /// the GPU-cycle L2 steps are provable no-ops and the DRAM ticks
+    /// collapse into one contiguous span through
+    /// [`Partition::catch_up_span`]. With staged pure-PIM work the spans
+    /// replay through the *live* code path — `step_l2` plus
+    /// `step_dram_span` per recorded visit — which is bit-identical to
+    /// having never deferred.
+    pub fn replay_spans(&mut self, spans: &[(Cycle, Cycle, u64)], mapper: &AddressMapper) {
+        let Some((&(_, first, _), &(_, last_first, last_ticks))) = spans.first().zip(spans.last())
+        else {
+            return;
+        };
+        if self.l2_quiet() && self.to_dram.is_empty() {
+            self.catch_up_span(first, last_first + last_ticks - first);
+            return;
+        }
+        for &(gpu_now, first_dram, ticks) in spans {
+            self.step_l2(gpu_now);
+            self.step_dram_span(first_dram, ticks, mapper);
+        }
+    }
+
+    /// Replays the deferred DRAM ticks `[first, first+ticks)` for a
+    /// partition with a frozen, empty pipeline: nothing to ingest, so
+    /// this never consults the address mapper — it bulk-replays the span
+    /// through the controller's stall memo or plan window, falling back
+    /// to per-tick controller steps without the ingest scan.
+    pub fn catch_up_span(&mut self, first: Cycle, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        debug_assert!(self.to_dram.is_empty(), "deferred span had an ingest");
+        if self.mc.quiet_replay_span(first, ticks) || self.mc.plan_replay_span(first, ticks) {
+            return;
+        }
+        for t in 0..ticks {
+            let now = first + t;
+            if self.mc.is_idle(now) {
+                continue;
+            }
+            self.mc.step(now);
+            self.harvest_completions(now);
         }
     }
 
@@ -517,14 +673,15 @@ mod tests {
     }
 
     /// Drives the partition until quiet, returning delivered MEM replies
-    /// and PIM acks.
+    /// and PIM acks. One scratch vector per drive, not per cycle — the
+    /// same drain discipline the completion stage uses.
     fn drive(p: &mut Partition, m: &AddressMapper, cycles: u64) -> (Vec<Request>, Vec<Request>) {
         let mut replies = Vec::new();
         let mut acks = Vec::new();
         for now in 0..cycles {
             p.step_l2(now);
             p.step_dram(now, m); // 1:1 clocks are fine for unit tests
-            p.acks_mut().drain_into(&mut acks);
+            p.acks_mut().drain_due_into(now, &mut acks);
             while let Some(r) = p.reply_mut().recv() {
                 replies.push(r);
             }

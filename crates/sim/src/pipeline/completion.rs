@@ -163,17 +163,22 @@ impl CompletionStage {
         self.delivered
     }
 
-    /// Drains every partition's PIM ack wire and retires the acks
-    /// (credit return, out-of-band — acks never cross the reply network).
+    /// Drains every partition's PIM ack schedule up to (and including)
+    /// DRAM cycle `limit` and retires the acks (credit return,
+    /// out-of-band — acks never cross the reply network). The limit is
+    /// the last *serviced* DRAM tick: with retire-time batching a
+    /// schedule may hold acks timestamped arbitrarily far ahead, and
+    /// they must not become observable before their analytic cycle.
     pub fn collect_acks(
         &mut self,
         memory: &mut MemoryStage,
         kernels: &mut [MountedKernel],
         issue: &mut IssueStage,
         now: Cycle,
+        limit: Cycle,
     ) {
         let mut acks = std::mem::take(&mut self.ack_scratch);
-        memory.drain_acks_into(&mut acks);
+        memory.drain_acks_into(limit, &mut acks);
         for ack in &acks {
             self.delivered += u64::from(Self::complete_one(
                 &mut self.inflight,

@@ -75,6 +75,34 @@ pub struct MemoryStage {
     /// popping wires) may leave the flag conservatively `true` for a
     /// cycle; that costs one redundant scan, never a missed reply.
     replies_pending: bool,
+    /// The next DRAM tick no stage visit (live or recorded) covers yet.
+    /// Normally the clock coupler's next tick; while the production side
+    /// is deferred (DESIGN.md §4k) individual *partitions* lag behind it
+    /// and catch up — exactly, via
+    /// [`crate::partition::Partition::replay_spans`] — before anything
+    /// can observe their state.
+    dram_upto: Cycle,
+    /// The address decoding shared by every partition; stored so the
+    /// eject path can replay a partition's deferred spans without the
+    /// caller threading the mapper through.
+    mapper: Arc<AddressMapper>,
+    /// Stage visits skipped by deferral, in order: `(gpu_cycle,
+    /// first_dram_tick, dram_ticks)` exactly as [`MemoryStage::step_cycle_all`]
+    /// would have received them. Drained per partition on demand.
+    deferred: Vec<(Cycle, Cycle, u64)>,
+    /// Per-partition index of the first entry in `deferred` not yet
+    /// replayed on that partition. `synced[c] == deferred.len()` means
+    /// partition `c` is current.
+    synced: Vec<usize>,
+    /// Per-partition cached deferral bound, valid while `!stale[c]`:
+    /// every stage visit whose window ends at or before `horizon[c]` is
+    /// provably reproducible later on partition `c`. `0` means the
+    /// partition needs live service. Invalidated per partition by
+    /// anything that can change its horizon: stepping, replay, or a
+    /// [`MemoryStage::partition_mut`] access (the crossbar eject path).
+    horizon: Vec<Cycle>,
+    /// Which entries of `horizon` need recomputation.
+    stale: Vec<bool>,
     threads: usize,
     pool: StagePool,
     bin: ReturnBin,
@@ -84,7 +112,7 @@ impl MemoryStage {
     /// Builds one partition per DRAM channel, each with its own policy
     /// instance. The shard count defaults to `PIMSIM_THREADS` when set,
     /// else 1 (serial — the historical default).
-    pub fn new(cfg: &SystemConfig, policy: PolicyKind) -> Self {
+    pub fn new(cfg: &SystemConfig, policy: PolicyKind, mapper: Arc<AddressMapper>) -> Self {
         let channels = cfg.dram.channels;
         let mut stage = MemoryStage {
             partitions: (0..channels)
@@ -92,6 +120,12 @@ impl MemoryStage {
                 .collect(),
             known_idle: vec![false; channels],
             replies_pending: false,
+            dram_upto: 0,
+            mapper,
+            deferred: Vec::new(),
+            synced: vec![0; channels],
+            horizon: vec![0; channels],
+            stale: vec![true; channels],
             threads: 1,
             pool: StagePool::Serial,
             bin: Arc::new(Mutex::new(Vec::with_capacity(channels))),
@@ -133,14 +167,52 @@ impl MemoryStage {
             .map(|p| p.as_deref().expect("partition in slot"))
     }
 
-    /// Mutable access to the partition serving channel `c`. Clears the
-    /// partition's idle memo: callers of this method may hand it new work
-    /// (crossbar ejection), so the recorded idle verdict no longer holds.
+    /// Mutable access to the partition serving channel `c`. First replays
+    /// any stage visits deferral skipped on this partition — so callers
+    /// (the crossbar eject path, test drivers) always observe the exact
+    /// live state, and an arrival can never land *inside* a deferred
+    /// span: the partition is caught up before the new work is handed
+    /// over. Also clears the partition's idle memo and marks its cached
+    /// bulk horizon stale, since the caller may mutate state the horizon
+    /// was derived from.
     pub fn partition_mut(&mut self, c: usize) -> &mut Partition {
+        self.catch_up_partition(c);
         self.known_idle[c] = false;
+        self.stale[c] = true;
         self.partitions[c]
             .as_deref_mut()
             .expect("partition in slot")
+    }
+
+    /// Replays partition `c`'s share of the deferred stage visits, if
+    /// any. Cheap no-op when the partition is current.
+    fn catch_up_partition(&mut self, c: usize) {
+        let n = self.deferred.len();
+        let start = self.synced[c];
+        if start == n {
+            return;
+        }
+        self.synced[c] = n;
+        self.stale[c] = true;
+        if self.known_idle[c] {
+            // A known-idle partition holds no work anywhere; every
+            // deferred visit is a provable no-op on it.
+            return;
+        }
+        let p = self.partitions[c]
+            .as_deref_mut()
+            .expect("partition in slot");
+        p.replay_spans(&self.deferred[start..n], &self.mapper);
+    }
+
+    /// Discards fully-replayed history once every partition is current,
+    /// so the deferred list never grows unboundedly.
+    fn compact_deferred(&mut self) {
+        let n = self.deferred.len();
+        if n > 0 && self.synced.iter().all(|&s| s == n) {
+            self.deferred.clear();
+            self.synced.fill(0);
+        }
     }
 
     /// Number of channels (= partitions).
@@ -156,16 +228,19 @@ impl MemoryStage {
         self.replies_pending
     }
 
-    /// Drains every partition's PIM ack wire into `out`.
+    /// Drains every partition's due PIM acks (completion cycle `<=
+    /// limit`) into `out`. Acks deposited at retire time with a future
+    /// timestamp stay invisible until DRAM time reaches them, so
+    /// delivery order and cycle match the eager per-tick path exactly.
     ///
     /// Goes through shared references first: draining only removes work,
-    /// so partitions with empty ack wires are left untouched and keep
-    /// their idle memos.
-    pub fn drain_acks_into(&mut self, out: &mut Vec<Request>) {
+    /// so partitions with nothing due are left untouched and keep their
+    /// idle memos.
+    pub fn drain_acks_into(&mut self, limit: Cycle, out: &mut Vec<Request>) {
         for slot in &mut self.partitions {
             let p = slot.as_deref_mut().expect("partition in slot");
-            if !p.acks().is_empty() {
-                p.acks_mut().drain_into(out);
+            if p.acks().has_due(limit) {
+                p.acks_mut().drain_due_into(limit, out);
             }
         }
     }
@@ -187,29 +262,48 @@ impl MemoryStage {
         ticks: u64,
         mapper: &Arc<AddressMapper>,
     ) {
+        // Stage visits skipped by deferral are replayed first, inside the
+        // same per-partition visit (and on the same worker, in the
+        // parallel path): replays run the exact live code paths, so
+        // replay-then-step is exactly the eager order.
+        debug_assert!(self.dram_upto <= first_dram, "DRAM service point ran ahead");
+        self.dram_upto = first_dram + ticks;
+        let n = self.deferred.len();
         if self.threads <= 1 {
             let mut replies = false;
             for (c, slot) in self.partitions.iter_mut().enumerate() {
                 if self.known_idle[c] {
+                    self.synced[c] = n;
                     continue;
                 }
+                let start = self.synced[c];
+                self.synced[c] = n;
+                self.stale[c] = true;
                 let p = slot.as_deref_mut().expect("partition in slot");
+                p.replay_spans(&self.deferred[start..n], mapper);
                 p.step_l2(now);
                 p.step_dram_span(first_dram, ticks, mapper);
                 replies |= !p.reply().is_empty();
             }
+            self.deferred.clear();
+            self.synced.fill(0);
             self.replies_pending = replies;
             return;
         }
+        let spans: Arc<[(Cycle, Cycle, u64)]> = Arc::from(std::mem::take(&mut self.deferred));
         let mut jobs: Vec<Job> = Vec::with_capacity(self.partitions.len());
         for (c, slot) in self.partitions.iter_mut().enumerate() {
+            let start = std::mem::replace(&mut self.synced[c], 0);
             if self.known_idle[c] {
                 continue;
             }
+            self.stale[c] = true;
             let mut p = slot.take().expect("partition in slot");
             let bin = Arc::clone(&self.bin);
             let mapper = Arc::clone(mapper);
+            let spans = Arc::clone(&spans);
             jobs.push(Box::new(move || {
+                p.replay_spans(&spans[start..], &mapper);
                 p.step_l2(now);
                 p.step_dram_span(first_dram, ticks, &mapper);
                 bin.lock().expect("partition bin poisoned").push((c, p));
@@ -255,13 +349,90 @@ impl MemoryStage {
         if ticks == 0 {
             return;
         }
+        debug_assert!(
+            self.dram_upto == first && self.deferred.is_empty(),
+            "bulk replay must start at the service point (catch up first)"
+        );
+        self.dram_upto = first + ticks;
         for (c, slot) in self.partitions.iter_mut().enumerate() {
             if self.known_idle[c] {
                 continue;
             }
+            self.stale[c] = true;
             let p = slot.as_deref_mut().expect("partition in slot");
             p.step_dram_span(first, ticks, mapper);
         }
+    }
+
+    /// Records one stage visit — GPU cycle `now` with DRAM ticks
+    /// `[first_dram, first_dram + ticks)` — as deferred instead of
+    /// stepping it. Only legal right after
+    /// [`MemoryStage::can_defer_through`]`(first_dram + ticks)` returned
+    /// `true`: every partition's cached horizon covers the window, so
+    /// the visit is replayable with bit-identical state and nothing
+    /// observable (a reply, an ack falling due, a fill) can surface
+    /// inside it. O(1) — this is the production side's event-driven
+    /// payoff (DESIGN.md §4k).
+    pub fn defer_cycle(&mut self, now: Cycle, first_dram: Cycle, ticks: u64) {
+        debug_assert!(
+            self.dram_upto == first_dram,
+            "deferred visit must extend the recorded history"
+        );
+        self.deferred.push((now, first_dram, ticks));
+        self.dram_upto = first_dram + ticks;
+    }
+
+    /// Whether the stage visit ending at DRAM tick `end` — its GPU-cycle
+    /// L2 front halves included — can be deferred and replayed later with
+    /// bit-identical state and no observable surfacing inside the window
+    /// (DESIGN.md §4k): every partition not known idle must report a bulk
+    /// horizon at or beyond `end`. Horizons are cached per partition
+    /// until something can change them (stepping, replay, or a crossbar
+    /// eject through [`MemoryStage::partition_mut`]); a deferral itself
+    /// mutates nothing, so back-to-back quiet cycles re-check against
+    /// cached values only.
+    pub fn can_defer_through(&mut self, end: Cycle) -> bool {
+        for c in 0..self.partitions.len() {
+            if self.known_idle[c] {
+                continue;
+            }
+            if self.stale[c] {
+                // The horizon is taken from this partition's own synced
+                // position: its state has not advanced past that point.
+                let from = match self.deferred.get(self.synced[c]) {
+                    Some(&(_, first, _)) => first,
+                    None => self.dram_upto,
+                };
+                let p = self.partitions[c].as_deref().expect("partition in slot");
+                self.horizon[c] = p.bulk_horizon(from).unwrap_or(0);
+                self.stale[c] = false;
+            }
+            // `0` refuses outright: a partition needing live service
+            // needs its GPU cycle even when the span carries zero DRAM
+            // ticks.
+            if self.horizon[c] == 0 || end > self.horizon[c] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Replays every deferred stage visit on every partition, leaving all
+    /// of them current through `target` (which must equal the recorded
+    /// history's end — the stage never lags the clock, only partitions
+    /// lag the stage). Must run before anything probes or mutates
+    /// per-partition state out of band — the fast-forward probe,
+    /// end-of-run stats harvesting — so no observer ever sees a partition
+    /// whose deferred visits have not been accounted.
+    pub fn catch_up_to(&mut self, target: Cycle) {
+        debug_assert!(
+            self.deferred.is_empty() || target == self.dram_upto,
+            "catch-up target must be the recorded history's end"
+        );
+        for c in 0..self.partitions.len() {
+            self.catch_up_partition(c);
+        }
+        self.compact_deferred();
     }
 
     /// The earliest DRAM cycle at or after `dram_now` at which any
@@ -298,7 +469,7 @@ mod tests {
             &cfg.dram,
             cfg.dram_word_bytes(),
         ));
-        let mut m = MemoryStage::new(&cfg, PolicyKind::FrFcfs);
+        let mut m = MemoryStage::new(&cfg, PolicyKind::FrFcfs, Arc::clone(&mapper));
         m.set_threads(threads);
         (m, mapper)
     }

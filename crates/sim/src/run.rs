@@ -58,6 +58,9 @@ impl Simulator {
                     })
                     .collect::<Vec<_>>()
                     .join(", ");
+                // Account any deferred production before handing control
+                // (and the stats surface) back to the caller.
+                self.sync_memory();
                 return Err(CycleBudgetExceeded {
                     max_gpu_cycles,
                     progress,
@@ -70,6 +73,7 @@ impl Simulator {
             }
             self.step();
         }
+        self.sync_memory();
         Ok(self.clock.gpu_now())
     }
 

@@ -35,6 +35,11 @@ pub struct Runner {
     /// bit-identical either way, so turning it off is only useful for
     /// the eager-oracle equivalence tests and stage-tick baselines.
     pub event_delivery: bool,
+    /// Retire-time ack batching (see [`Simulator::set_ack_batching`]).
+    /// On by default; results are bit-identical either way, so turning
+    /// it off is only useful for the eager-oracle equivalence tests and
+    /// per-tick production baselines.
+    pub ack_batching: bool,
     /// Shard width for the per-cycle memory stage (`None` keeps the
     /// simulator's default: `PIMSIM_THREADS` if set, else serial).
     /// Results are bit-identical at every width; see
@@ -52,6 +57,7 @@ impl Runner {
             max_gpu_cycles: 60_000_000,
             fast_forward: true,
             event_delivery: true,
+            ack_batching: true,
             memory_threads: None,
         }
     }
@@ -75,6 +81,7 @@ impl Runner {
         let mut sim = Simulator::new(self.system.clone(), self.policy);
         sim.set_fast_forward(self.fast_forward);
         sim.set_event_delivery(self.event_delivery);
+        sim.set_ack_batching(self.ack_batching);
         if let Some(threads) = self.memory_threads {
             sim.set_memory_threads(threads);
         }

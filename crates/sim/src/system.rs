@@ -122,6 +122,9 @@ pub struct Simulator {
     /// Event-driven completion delivery (on by default; see
     /// [`Simulator::set_event_delivery`]).
     event_delivery: bool,
+    /// Retire-time ack batching (on by default; see
+    /// [`Simulator::set_ack_batching`]).
+    ack_batching: bool,
     /// Number of idle-span jumps taken.
     skips: u64,
     /// GPU cycles covered by those jumps (not stepped one by one).
@@ -146,23 +149,29 @@ impl Simulator {
         // names without matching on the kind themselves.
         let mapper = Arc::new(pimsim_dram::backend::mapper_for(&cfg));
         let (clock_num, clock_den) = cfg.dram_clock_ratio();
-        Simulator {
+        let mut sim = Simulator {
             issue: IssueStage::new(cfg.gpu.num_sms, cfg.gpu.max_outstanding_mem_per_sm),
             request_net: RequestNet::new(&cfg),
-            memory: MemoryStage::new(&cfg, policy),
+            memory: MemoryStage::new(&cfg, policy, Arc::clone(&mapper)),
             reply_net: ReplyNet::new(&cfg),
             completion: CompletionStage::new(),
             clock: ClockCoupler::new(clock_num, clock_den),
             kernels: Vec::new(),
             fast_forward: true,
             event_delivery: true,
+            ack_batching: true,
             skips: 0,
             skipped_cycles: 0,
             stage_ticks: StageTicks::default(),
             profile: None,
             mapper,
             cfg,
-        }
+        };
+        // Raw controllers default to eager production (they have no
+        // harvesting owner); the simulator's partitions do, so batching
+        // is on by default here.
+        sim.set_ack_batching(true);
+        sim
     }
 
     /// Enables or disables per-stage wall-time profiling (off by
@@ -225,6 +234,37 @@ impl Simulator {
     /// Whether event-driven completion delivery is enabled.
     pub fn event_delivery(&self) -> bool {
         self.event_delivery
+    }
+
+    /// Enables or disables retire-time ack batching (on by default).
+    /// With it on, each controller emits a burst plan's completions as
+    /// one timestamped batch at retire time, the partitions hold them in
+    /// a time-ordered schedule, and the memory stage defers whole plan /
+    /// stall windows instead of ticking through them — each ack still
+    /// becomes *observable* at its exact analytic cycle (DESIGN.md §4k).
+    /// With it off, every completion is produced by a per-tick
+    /// controller step — the eager oracle. Both modes produce
+    /// bit-identical observables (cycle counts, McStats, goldens); only
+    /// the step mix's tick counters differ. Toggle before running.
+    pub fn set_ack_batching(&mut self, on: bool) {
+        self.ack_batching = on;
+        for c in 0..self.memory.channel_count() {
+            self.memory.partition_mut(c).mc.set_ack_batching(on);
+        }
+    }
+
+    /// Whether retire-time ack batching is enabled.
+    pub fn ack_batching(&self) -> bool {
+        self.ack_batching
+    }
+
+    /// Replays any deferred memory-stage production up to the current
+    /// DRAM service point. Must run before stats are harvested or
+    /// partitions are inspected out of band — the run loop calls it on
+    /// both exits so end-of-run observers never see a partition whose
+    /// deferred span is unaccounted.
+    pub(crate) fn sync_memory(&mut self) {
+        self.memory.catch_up_to(self.clock.dram_now());
     }
 
     /// `(jumps taken, GPU cycles covered by jumps)` — how much of the run
@@ -358,9 +398,26 @@ impl Simulator {
         // otherwise.
         self.clock.accrue_gpu_cycle();
         let (first_dram, dram_ticks) = self.clock.take_dram_span();
-        self.memory
-            .step_cycle_all(now, first_dram, dram_ticks, &self.mapper);
-        self.stage_ticks.memory += 1;
+        // Retire-time batching: when every partition reports a bulk
+        // horizon covering this visit's window — MEM-side state quiet,
+        // controllers idle / in plan or stall windows / simply unable to
+        // complete anything within `min_completion_latency` ticks, and
+        // at most pure-PIM work staged in the ports — the whole cycle is
+        // recorded as deferred instead of stepped. Partitions replay
+        // their share of the recorded visits lazily: on the next eject
+        // into them (`partition_mut`), on the next live step, or at the
+        // next global catch-up — through the exact live code paths, so
+        // state is bit-identical and no observable (reply, ack, fill)
+        // could have surfaced inside the window. Deferred cycles do not
+        // count as memory-stage ticks: that asymmetry *is* the measured
+        // win (the `ticks_memory` gate).
+        if self.ack_batching && self.memory.can_defer_through(first_dram + dram_ticks) {
+            self.memory.defer_cycle(now, first_dram, dram_ticks);
+        } else {
+            self.memory
+                .step_cycle_all(now, first_dram, dram_ticks, &self.mapper);
+            self.stage_ticks.memory += 1;
+        }
         Self::lap(&mut mark, &mut prof, |p| &mut p.memory_ns);
 
         // 5. PIM acks (credit return, out-of-band). Event-driven: acks
@@ -382,8 +439,19 @@ impl Simulator {
                 .iter()
                 .any(|k| k.is_pim && k.model.wants_completions(now));
         if deliver_acks {
-            self.completion
-                .collect_acks(&mut self.memory, &mut self.kernels, &mut self.issue, now);
+            // Acks become observable once their DRAM cycle has been
+            // *serviced*: `dram_now()` is the next unserviced tick (the
+            // span above ended at `dram_now() - 1`), so that is the drain
+            // limit. Eager production pops each completion on its own
+            // tick with the same bound, so both modes drain identically.
+            let ack_limit = self.clock.dram_now().saturating_sub(1);
+            self.completion.collect_acks(
+                &mut self.memory,
+                &mut self.kernels,
+                &mut self.issue,
+                now,
+                ack_limit,
+            );
             completion_ticked = true;
         }
         Self::lap(&mut mark, &mut prof, |p| &mut p.completion_ns);
@@ -474,6 +542,12 @@ impl Simulator {
             return false;
         }
         let dram_now = self.clock.dram_now();
+        // Replay any deferred production *before* the activity probe: the
+        // probe memoizes partitions as known-idle and the catch-up skips
+        // memoized ones, so probing first would lose the deferred span's
+        // stats integrals. (A deferred partition is mid plan/stall and
+        // never probes idle, but the ordering makes that a non-issue.)
+        self.memory.catch_up_to(dram_now);
         let mem_horizon = self.memory.next_activity_cycle(dram_now);
         if mem_horizon.is_some_and(|at| at <= dram_now) {
             // Some partition needs servicing this very DRAM cycle

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# A/B wall-clock comparison of two hotloop binaries under the interleaved
+# best-of protocol: N alternating pairs (baseline run, then candidate
+# run), each run itself best-of-M reps inside the binary (HOTLOOP_REPS).
+# Alternating exposes both binaries to the same slow drift in background
+# host load; best-of-M inside each run shields against per-run scheduler
+# hiccups. Reports every per-run rate, the medians, and best-vs-best for
+# the chosen scenario's fast-forward-on rate.
+#
+# Usage:
+#   scripts/bench_compare.sh BASELINE_BIN CANDIDATE_BIN [scenario] [pairs] [reps]
+#
+#   BASELINE_BIN / CANDIDATE_BIN  prebuilt hotloop binaries (e.g. the
+#                                 candidate from target/release/hotloop and
+#                                 a baseline built from an earlier commit
+#                                 in a scratch worktree)
+#   scenario                      hotloop scenario name (default standalone_pim)
+#   pairs                         alternating A/B pairs, N (default 5)
+#   reps                          best-of reps per run, M (default 3)
+#
+# Exit status is always 0 on a completed measurement; the judgement
+# (e.g. a >=1.3x target) is the caller's.
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 BASELINE_BIN CANDIDATE_BIN [scenario] [pairs] [reps]" >&2
+  exit 2
+fi
+A_BIN=$1
+B_BIN=$2
+SCENARIO=${3:-standalone_pim}
+PAIRS=${4:-5}
+REPS=${5:-3}
+
+for bin in "$A_BIN" "$B_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "not an executable: $bin" >&2
+    exit 2
+  fi
+done
+
+TMPDIR_CMP=$(mktemp -d)
+trap 'rm -rf "$TMPDIR_CMP"' EXIT
+
+# Pulls the scenario's best-of-reps fast-forward-on rate out of the
+# hand-formatted JSON the binary writes (no jq dependency).
+rate_of() { # rate_of <json-file> <scenario>
+  awk -v want="$2" '
+    /"scenario":/ { in_block = index($0, "\"" want "\"") > 0 }
+    in_block && /"cycles_per_sec_ff_on":/ {
+      gsub(/[^0-9.]/, "", $2); print $2; exit
+    }' "$1"
+}
+
+median_of() { # median_of <rates...>
+  printf '%s\n' "$@" | sort -n | awk '
+    { a[NR] = $1 }
+    END {
+      if (NR % 2) { print a[(NR + 1) / 2] }
+      else { printf "%.1f\n", (a[NR / 2] + a[NR / 2 + 1]) / 2 }
+    }'
+}
+
+best_of() { # best_of <rates...>
+  printf '%s\n' "$@" | sort -n | tail -1
+}
+
+run_one() { # run_one <bin> <out-json>
+  HOTLOOP_REPS=$REPS HOTLOOP_FLOOR=0 HOTLOOP_OUT=$2 "$1" >/dev/null
+}
+
+A_RATES=()
+B_RATES=()
+echo "interleaving $PAIRS pairs of best-of-$REPS runs, scenario $SCENARIO"
+for i in $(seq 1 "$PAIRS"); do
+  run_one "$A_BIN" "$TMPDIR_CMP/a_$i.json"
+  a=$(rate_of "$TMPDIR_CMP/a_$i.json" "$SCENARIO")
+  run_one "$B_BIN" "$TMPDIR_CMP/b_$i.json"
+  b=$(rate_of "$TMPDIR_CMP/b_$i.json" "$SCENARIO")
+  if [ -z "$a" ] || [ -z "$b" ]; then
+    echo "pair $i: scenario '$SCENARIO' not found in one of the outputs" >&2
+    exit 1
+  fi
+  A_RATES+=("$a")
+  B_RATES+=("$b")
+  echo "  pair $i: baseline ${a}/s   candidate ${b}/s"
+done
+
+A_MED=$(median_of "${A_RATES[@]}")
+B_MED=$(median_of "${B_RATES[@]}")
+A_BEST=$(best_of "${A_RATES[@]}")
+B_BEST=$(best_of "${B_RATES[@]}")
+
+echo
+echo "baseline : rates [${A_RATES[*]}]  median $A_MED  best $A_BEST"
+echo "candidate: rates [${B_RATES[*]}]  median $B_MED  best $B_BEST"
+awk -v am="$A_MED" -v bm="$B_MED" -v ab="$A_BEST" -v bb="$B_BEST" 'BEGIN {
+  printf "speedup (candidate/baseline): median %.3fx   best-vs-best %.3fx\n",
+    bm / am, bb / ab
+}'

@@ -50,8 +50,12 @@ cargo run -q --release -p pimsim-cli --bin pimsim -- \
 # regresses (DESIGN.md §4h), or if event-driven completion delivery
 # disengages: on standalone_pim the reply-net + completion stages must
 # run at least 5x fewer ticks than the eager 2-ticks-per-stepped-cycle
-# baseline (DESIGN.md §4i). Tick counts are deterministic, so that gate
-# is structural — immune to host noise.
+# baseline (DESIGN.md §4i), or if retire-time completion batching
+# disengages: on both standalone PIM scenarios (HBM and lp5x:ranks=4)
+# the memory stage must run at least 3x fewer ticks than stepped cycles
+# and at least one ack must travel in a retire-time batch (DESIGN.md
+# §4k). Tick counts are deterministic, so those gates are structural —
+# immune to host noise.
 HOTLOOP_REPS=1 HOTLOOP_FLOOR=25000 HOTLOOP_OUT="" \
   cargo run -q --release -p pimsim-bench --bin hotloop
 

@@ -238,6 +238,76 @@ fn event_delivery_matches_eager_oracle() {
     }
 }
 
+/// Oracle property for retire-time completion batching (DESIGN.md §4k):
+/// with batching on (the default) controllers emit each burst plan's
+/// acks as one retire-time batch, partitions re-sort them into
+/// time-ordered delivery schedules, and the memory stage defers whole
+/// production cycles behind partition bulk horizons; with batching off
+/// every completion goes through the per-tick heap and the stage steps
+/// every cycle (the eager oracle). Every observable — total cycles,
+/// injections, merged controller stats — must be bit-identical across
+/// the two modes, on both DRAM backends, in both fast-forward modes.
+/// The matrix runs VC1 (shared lanes maximize PIM/MEM interleaving in
+/// the staging ports, the pipeline-tolerant deferral's hard case).
+#[test]
+fn ack_batching_matches_per_tick_oracle() {
+    let lp5x = {
+        // Resolved through the backend registry, exactly like `--dram`.
+        let kind = pim_coscheduling::dram::backend::parse_spec("lp5x:ranks=4")
+            .expect("registered backend");
+        pim_coscheduling::dram::backend::system_config(kind)
+    };
+    for (backend, cfg) in [("hbm", SystemConfig::default()), ("lp5x", lp5x)] {
+        let pim = |ff: bool, batching: bool| {
+            let mut r = Runner::new(cfg.clone(), PolicyKind::FrFcfs);
+            r.max_gpu_cycles = BUDGET;
+            r.fast_forward = ff;
+            r.ack_batching = batching;
+            r.standalone(
+                Box::new(pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE)),
+                0,
+                true,
+            )
+            .expect("finishes")
+        };
+        let eager = pim(false, false);
+        for (ff, batching) in [(false, true), (true, true), (true, false)] {
+            let ctx = format!("pim/{backend}/ff={ff}/batching={batching}");
+            let got = pim(ff, batching);
+            assert_eq!(got.cycles, eager.cycles, "{ctx}: total cycles");
+            assert_eq!(
+                got.icnt_injections, eager.icnt_injections,
+                "{ctx}: injections"
+            );
+            assert_mc_identical(&got.mc, &eager.mc, &ctx);
+        }
+
+        // Co-execution: MEM traffic voids deferral on its partitions and
+        // ejects trigger mid-window catch-up on the PIM side — the
+        // batched path's replay machinery under maximum churn.
+        let co = |ff: bool, batching: bool| {
+            let mut r = Runner::new(cfg.clone(), PolicyKind::f3fs_competitive());
+            r.max_gpu_cycles = BUDGET;
+            r.fast_forward = ff;
+            r.ack_batching = batching;
+            r.coexec(
+                Box::new(gpu_kernel(GpuBenchmark(8), 16, SCALE)),
+                Box::new(pim_kernel(PimBenchmark(2), 32, 4, 256, SCALE)),
+                true,
+            )
+        };
+        let eager = co(false, false);
+        for (ff, batching) in [(false, true), (true, true), (true, false)] {
+            let ctx = format!("coexec/{backend}/ff={ff}/batching={batching}");
+            let got = co(ff, batching);
+            assert_eq!(got.gpu_first_run, eager.gpu_first_run, "{ctx}: gpu first");
+            assert_eq!(got.pim_first_run, eager.pim_first_run, "{ctx}: pim first");
+            assert_eq!(got.total_cycles, eager.total_cycles, "{ctx}: total cycles");
+            assert_mc_identical(&got.mc, &eager.mc, &ctx);
+        }
+    }
+}
+
 #[test]
 fn determinism_holds_through_parallel_map() {
     // The same configuration dispatched twice through the sweep machinery

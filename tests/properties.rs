@@ -388,6 +388,8 @@ fn stall_memo_matches_full_step_oracle() {
             fast.set_burst_enabled(false);
             oracle.set_burst_enabled(false);
             let ctx = |now: u64| format!("policy {} refresh {refresh} cycle {now}", kind.label());
+            let mut fast_done = Vec::new();
+            let mut oracle_done = Vec::new();
             let mut next_id = 0u64;
             let mut pim_block = 0u64;
             let mut pim_in_block = 0usize;
@@ -465,12 +467,11 @@ fn stall_memo_matches_full_step_oracle() {
                 );
                 fast.step(now);
                 oracle.step(now);
-                assert_eq!(
-                    fast.pop_completions(now),
-                    oracle.pop_completions(now),
-                    "{}",
-                    ctx(now)
-                );
+                fast_done.clear();
+                oracle_done.clear();
+                fast.pop_completions_into(now, &mut fast_done);
+                oracle.pop_completions_into(now, &mut oracle_done);
+                assert_eq!(fast_done, oracle_done, "{}", ctx(now));
                 assert_eq!(fast.mode(), oracle.mode(), "{}", ctx(now));
             }
             assert_eq!(fast.stats(), oracle.stats(), "{} final stats", kind.label());
@@ -525,6 +526,8 @@ fn burst_retirement_matches_full_step_oracle() {
                         kind.label()
                     )
                 };
+                let mut fast_done = Vec::new();
+                let mut oracle_done = Vec::new();
                 let mut next_id = 0u64;
                 let mut pim_block = 0u64;
                 let mut pim_in_block = 0usize;
@@ -608,12 +611,11 @@ fn burst_retirement_matches_full_step_oracle() {
                     );
                     fast.step(now);
                     oracle.step(now);
-                    assert_eq!(
-                        fast.pop_completions(now),
-                        oracle.pop_completions(now),
-                        "{}",
-                        ctx(now)
-                    );
+                    fast_done.clear();
+                    oracle_done.clear();
+                    fast.pop_completions_into(now, &mut fast_done);
+                    oracle.pop_completions_into(now, &mut oracle_done);
+                    assert_eq!(fast_done, oracle_done, "{}", ctx(now));
                     assert_eq!(fast.mode(), oracle.mode(), "{}", ctx(now));
                     // Stats must agree at EVERY cycle, not just at the end:
                     // the simulator snapshots stats whenever a run stops, and
@@ -714,9 +716,12 @@ fn controller_conserves_arbitrary_mixes() {
             }
         }
         let mut done = 0u64;
+        let mut drained = Vec::new();
         for now in 0..200_000u64 {
             mc.step(now);
-            done += mc.pop_completions(now).len() as u64;
+            drained.clear();
+            mc.pop_completions_into(now, &mut drained);
+            done += drained.len() as u64;
             if done == expected && mc.is_idle(now) {
                 break;
             }
