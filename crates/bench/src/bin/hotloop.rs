@@ -87,6 +87,29 @@ fn standalone_pim_lp5x(ff: bool) -> u64 {
         .cycles
 }
 
+/// Sparse-eject variant: a tight per-warp credit cap throttles issue, so
+/// the request crossbar alternates between empty and lightly loaded —
+/// the regime where eject batching's deferral windows are longest and
+/// the staged-ingress probe accounting (occupancy while a batch is
+/// pending) actually gates fast-forward skips.
+fn sparse_pim_kernel() -> impl KernelModel {
+    pim_kernel(PimBenchmark(1), 32, 4, 4, 0.5)
+}
+
+fn sparse_pim(ff: bool) -> u64 {
+    runner(PolicyKind::FrFcfs, ff)
+        .standalone(Box::new(sparse_pim_kernel()), 0, true)
+        .expect("finishes")
+        .cycles
+}
+
+fn sparse_pim_lp5x(ff: bool) -> u64 {
+    runner_on(config_for("sparse_pim_lp5x"), PolicyKind::FrFcfs, ff)
+        .standalone(Box::new(sparse_pim_kernel()), 0, true)
+        .expect("finishes")
+        .cycles
+}
+
 fn coexec_f3fs(ff: bool) -> u64 {
     runner(PolicyKind::f3fs_competitive(), ff)
         .coexec(
@@ -122,6 +145,12 @@ fn profile_scenario(name: &str) -> (StageProfile, StepMix, u64, u64, u64) {
         }
         "standalone_pim" | "standalone_pim_lp5x" => {
             let k = pim_kernel(PimBenchmark(1), 32, 4, 256, SCALE);
+            let slots = k.num_slots();
+            sim.mount(Box::new(k), (0..slots).collect(), true, false);
+            sim.run_until_all_first_done(60_000_000).expect("finishes");
+        }
+        "sparse_pim" | "sparse_pim_lp5x" => {
+            let k = sparse_pim_kernel();
             let slots = k.num_slots();
             sim.mount(Box::new(k), (0..slots).collect(), true, false);
             sim.run_until_all_first_done(60_000_000).expect("finishes");
@@ -189,10 +218,12 @@ fn main() {
     // rate so only asymptotic regressions — not machine noise — trip it.
     let floor = env_u64("HOTLOOP_FLOOR", 0) as f64;
     type Scenario = fn(bool) -> u64;
-    let scenarios: [(&str, Scenario); 4] = [
+    let scenarios: [(&str, Scenario); 6] = [
         ("standalone_mem", standalone_mem),
         ("standalone_pim", standalone_pim),
         ("standalone_pim_lp5x", standalone_pim_lp5x),
+        ("sparse_pim", sparse_pim),
+        ("sparse_pim_lp5x", sparse_pim_lp5x),
         ("coexec_f3fs", coexec_f3fs),
     ];
     let mut entries = Vec::new();
@@ -260,12 +291,20 @@ fn main() {
         // ±40% single-CPU variance; 0.85 is well inside it).
         let engaged = ff_skipped.saturating_mul(20) > total_cycles;
         let floor_x = if engaged { 1.0 } else { 0.85 };
-        assert!(
-            speedup >= floor_x,
-            "{name}: fast-forward on is slower than off ({speedup:.3}x < {floor_x}x, \
-             ff_on {rate_on:.0}/s vs ff_off {rate_off:.0}/s after {extra} retry pairs; \
-             {ff_skipped} of {total_cycles} cycles skipped)"
-        );
+        // HOTLOOP_FF_GATE=0 turns the on-vs-off assertion into a report.
+        // scripts/bench_compare.sh sets it: interleaved A/B runs load the
+        // host back-to-back, and a scheduler hiccup inside one rep would
+        // otherwise abort the whole measurement. Tier-1 leaves it on.
+        if env_u64("HOTLOOP_FF_GATE", 1) != 0 {
+            assert!(
+                speedup >= floor_x,
+                "{name}: fast-forward on is slower than off ({speedup:.3}x < {floor_x}x, \
+                 ff_on {rate_on:.0}/s vs ff_off {rate_off:.0}/s after {extra} retry pairs; \
+                 {ff_skipped} of {total_cycles} cycles skipped)"
+            );
+        } else if speedup < floor_x {
+            println!("  {:16} ff gate waived ({speedup:.3}x < {floor_x}x)", "");
+        }
         let hit_rate = mix.burst_hit_rate().unwrap_or(0.0);
         if name.starts_with("standalone_pim") {
             // The homogeneous all-PIM scenario is exactly what burst
@@ -313,6 +352,39 @@ fn main() {
                 "{name}: no acks went through the retire-time batch"
             );
         }
+        if name.starts_with("standalone_pim") || name.starts_with("sparse_pim") {
+            // All-PIM traffic must route its ejections through the
+            // timestamped batch path (DESIGN.md §4l); a zero counter
+            // means eject batching silently disengaged.
+            assert!(
+                mix.requests_batched > 0,
+                "{name}: no requests went through the eject batch"
+            );
+        }
+        if name == "standalone_pim" {
+            // Structural gate for eject batching: the eager path ran the
+            // request-net stage every stepped cycle; deferring whole
+            // arbitration cycles must cut that at least 3x. Tick counts
+            // are deterministic, so this gate is immune to host noise.
+            assert!(
+                mix.ticks_request_net * 3 <= prof.stepped_cycles,
+                "{name}: request-net stage ran {} ticks over {} stepped cycles; \
+                 eject batching should defer arbitration at least 3x below \
+                 the per-cycle baseline",
+                mix.ticks_request_net,
+                prof.stepped_cycles
+            );
+            // The §4k regression this PR exists to fix: per-eject
+            // catch-up replay collapsed deferral windows to ~4.3 visits
+            // on saturated PIM. Timestamped eject batches must keep the
+            // mean per-partition replay batch at 4x that or better.
+            let window = mix.mean_deferral_window().unwrap_or(0.0);
+            assert!(
+                window >= 16.0,
+                "{name}: mean deferral window {window:.1} visits/batch < 16; \
+                 eject batching failed to lift the per-eject catch-up collapse"
+            );
+        }
         let total = prof.total_ns().max(1);
         print!("  {:16} stages:", "");
         let mut stage_fields = Vec::new();
@@ -350,6 +422,16 @@ fn main() {
             "  {:16} batching: {} retire batches / {} acks batched / {} plan spans replayed",
             "", mix.ack_batches, mix.acks_batched, mix.plan_spans_replayed
         );
+        let window = mix.mean_deferral_window().unwrap_or(0.0);
+        println!(
+            "  {:16} ejects: {} batches / {} requests batched / mean deferral window {:.1} ({} visits over {} replays)",
+            "",
+            mix.eject_batches,
+            mix.requests_batched,
+            window,
+            mix.replayed_visits,
+            mix.replay_batches
+        );
         entries.push(format!(
             concat!(
                 "    {{\n",
@@ -374,6 +456,11 @@ fn main() {
                 "        \"ack_batches\": {},\n",
                 "        \"acks_batched\": {},\n",
                 "        \"plan_spans_replayed\": {},\n",
+                "        \"eject_batches\": {},\n",
+                "        \"requests_batched\": {},\n",
+                "        \"replay_batches\": {},\n",
+                "        \"replayed_visits\": {},\n",
+                "        \"mean_deferral_window\": {:.2},\n",
                 "        \"ticks_issue\": {},\n",
                 "        \"ticks_request_net\": {},\n",
                 "        \"ticks_memory\": {},\n",
@@ -411,6 +498,11 @@ fn main() {
             mix.ack_batches,
             mix.acks_batched,
             mix.plan_spans_replayed,
+            mix.eject_batches,
+            mix.requests_batched,
+            mix.replay_batches,
+            mix.replayed_visits,
+            window,
             mix.ticks_issue,
             mix.ticks_request_net,
             mix.ticks_memory,

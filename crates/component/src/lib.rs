@@ -376,6 +376,14 @@ impl<T> Schedule<T> {
     pub fn is_empty(&self) -> bool {
         self.sorted.is_empty() && self.heap.is_empty()
     }
+
+    /// Entries parked in the out-of-order (heap) lane. Zero for any
+    /// producer that deposits in `(at, key)`-ascending order — the
+    /// property the eject-batch and ack-batch paths rely on to keep the
+    /// common case a plain FIFO append.
+    pub fn straggler_len(&self) -> usize {
+        self.heap.len()
+    }
 }
 
 /// A bundle of parallel [`Wire`]s — one lane per virtual channel.
@@ -589,6 +597,80 @@ mod tests {
         let eager: Vec<u64> = eager.into_iter().map(|(_, k)| k).collect();
         let got: Vec<u64> = got.into_iter().map(|(_, k)| k).collect();
         assert_eq!(got, eager);
+    }
+
+    #[test]
+    fn schedule_monotone_pushes_stay_off_the_heap_lane() {
+        // Seeded property test for the two-lane structure: a producer
+        // depositing in (at, key)-ascending order (an eject batch, an ack
+        // batch) must never touch the straggler heap, so every push and
+        // pop is an O(1) deque operation.
+        let mut seed = 0x5eed_cafe_u64;
+        let mut rng = move || {
+            // xorshift64: deterministic, no external crates.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut s: Schedule<u64> = Schedule::new();
+        let (mut at, mut key) = (0u64, 0u64);
+        let mut pushed = Vec::new();
+        for _ in 0..500 {
+            at += rng() % 4; // nondecreasing cycles
+            key += 1 + rng() % 3; // strictly increasing tie-break keys
+            s.push(at, key, key);
+            pushed.push((at, key));
+            assert_eq!(s.straggler_len(), 0, "monotone push leaked to heap");
+        }
+        let mut out = Vec::new();
+        s.drain_due_into(u64::MAX, &mut out);
+        let expect: Vec<u64> = pushed.iter().map(|&(_, k)| k).collect();
+        assert_eq!(out, expect, "FIFO lane must preserve deposit order");
+    }
+
+    #[test]
+    fn schedule_straggler_pushes_pop_in_global_time_order() {
+        // Interleave in-order batches with out-of-order stragglers and
+        // check pops still come out (at, key)-ascending, with stragglers
+        // confined to the heap lane until popped.
+        let mut seed = 0xdead_beef_u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut s: Schedule<u64> = Schedule::new();
+        let mut pushed = Vec::new();
+        let mut at = 50u64;
+        for key in 0..400u64 {
+            let straggle = rng() % 5 == 0;
+            let when = if straggle {
+                at.saturating_sub(1 + rng() % 40) // lands behind the back
+            } else {
+                at += rng() % 3;
+                at
+            };
+            s.push(when, key, key);
+            pushed.push((when, key));
+        }
+        assert!(s.straggler_len() > 0, "seed must produce stragglers");
+        assert!(
+            s.straggler_len() < s.len(),
+            "in-order prefix must stay on the FIFO lane"
+        );
+        pushed.sort_unstable();
+        let mut got = Vec::new();
+        let mut now = 0;
+        while !s.is_empty() {
+            while let Some(k) = s.pop_due(now) {
+                got.push(k);
+            }
+            now += 1;
+        }
+        let expect: Vec<u64> = pushed.into_iter().map(|(_, k)| k).collect();
+        assert_eq!(got, expect, "pops must merge lanes in (at, key) order");
     }
 
     /// A minimal component exercising the trait contract, including the

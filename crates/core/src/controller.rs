@@ -215,6 +215,21 @@ pub struct StepMix {
     /// Burst-plan windows bulk-replayed by `plan_replay_span` (each span
     /// covers many `burst_retired` ticks in one call).
     pub plan_spans_replayed: u64,
+    /// Timestamped eject batches deposited into partition staged-ingress
+    /// schedules (one per empty→nonempty transition of a partition's
+    /// schedule; DESIGN.md §4l).
+    pub eject_batches: u64,
+    /// Crossbar ejections delivered through the staged (deferred-replay)
+    /// path instead of an eager per-eject hand-off. Zero with traffic
+    /// means eject batching silently disengaged — the tier-1 smoke
+    /// fails on that.
+    pub requests_batched: u64,
+    /// Per-partition catch-up replays that had at least one deferred
+    /// visit to work through.
+    pub replay_batches: u64,
+    /// Deferred stage visits replayed across all `replay_batches` — the
+    /// numerator of [`StepMix::mean_deferral_window`].
+    pub replayed_visits: u64,
 }
 
 impl StepMix {
@@ -223,6 +238,14 @@ impl StepMix {
     pub fn burst_hit_rate(&self) -> Option<f64> {
         let total = self.full_steps + self.memo_replayed + self.burst_retired;
         (total > 0).then(|| self.burst_retired as f64 / total as f64)
+    }
+
+    /// Mean deferred visits replayed per per-partition catch-up — the
+    /// length of the average deferral window as one partition sees it.
+    /// §4k's per-eject catch-up collapsed this to ≈4 cycles on saturated
+    /// PIM; eject batching (§4l) is meant to stretch it back out.
+    pub fn mean_deferral_window(&self) -> Option<f64> {
+        (self.replay_batches > 0).then(|| self.replayed_visits as f64 / self.replay_batches as f64)
     }
 }
 
@@ -243,6 +266,10 @@ impl pimsim_stats::Mergeable for StepMix {
         self.ack_batches += o.ack_batches;
         self.acks_batched += o.acks_batched;
         self.plan_spans_replayed += o.plan_spans_replayed;
+        self.eject_batches += o.eject_batches;
+        self.requests_batched += o.requests_batched;
+        self.replay_batches += o.replay_batches;
+        self.replayed_visits += o.replayed_visits;
     }
 }
 
@@ -964,15 +991,20 @@ impl MemoryController {
     /// needs its per-tick hand-off).
     ///
     /// The bound is built from two pieces, taking the minimum:
-    /// - the earliest heap completion (internal MEM fills/writebacks),
-    ///   which must be popped at its exact tick, and
-    /// - the regime bound: no *new* completion can fall due before the
-    ///   earliest possible issue plus
-    ///   [`MemoryController::min_completion_latency`]. Inside a plan
-    ///   window the next scheduling decision is at `plan_until` (plan
-    ///   acks were already batched at retire time); inside an armed
-    ///   stall window, at `stall_until`; an actively scheduling
-    ///   controller can issue as soon as `from` itself.
+    /// - the earliest heap completion, which must be popped at its exact
+    ///   tick. In batched mode PIM completions bypass the heap (they are
+    ///   deposited timestamped into the ack batch and *pulled* by the
+    ///   delivery stage, which replays lagging partitions before every
+    ///   drain), so the heap holds only MEM fills/writebacks here; and
+    /// - the regime bound, which applies only while MEM requests are
+    ///   queued: a MEM issue deposits an exact-tick heap completion, so
+    ///   no such completion can fall due before the earliest possible
+    ///   issue plus [`MemoryController::min_completion_latency`]. Inside
+    ///   a plan window the next scheduling decision is at `plan_until`;
+    ///   inside an armed stall window, at `stall_until`; an actively
+    ///   scheduling controller can issue as soon as `from` itself. With
+    ///   no MEM queued there is nothing production-bound in the window —
+    ///   PIM acks are pull-produced — and the regime is unbounded.
     pub fn bulk_horizon(&self, from: Cycle) -> Option<Cycle> {
         if !self.ack_batching {
             return None;
@@ -980,16 +1012,36 @@ impl MemoryController {
         if self.is_idle(from) {
             return Some(Cycle::MAX);
         }
-        let l_min = self.min_completion_latency();
         let mem_due = self.completions.peek().map_or(Cycle::MAX, |c| c.at);
-        let regime = if from < self.plan_until {
-            self.plan_until.saturating_add(l_min)
-        } else if from < self.stall_until {
-            self.stall_until.saturating_add(l_min)
+        let regime = if self.queues.mem_len() == 0 {
+            Cycle::MAX
         } else {
-            from.saturating_add(l_min)
+            let l_min = self.min_completion_latency();
+            if from < self.plan_until {
+                self.plan_until.saturating_add(l_min)
+            } else if from < self.stall_until {
+                self.stall_until.saturating_add(l_min)
+            } else {
+                from.saturating_add(l_min)
+            }
         };
         Some(regime.min(mem_due))
+    }
+
+    /// The earliest cycle a *new* enqueue arriving at DRAM tick `at`
+    /// could produce an observable completion. Unlike
+    /// [`MemoryController::bulk_horizon`]'s regime bound, this is sound
+    /// even though the arrival is not yet enqueued: an arrival cannot
+    /// issue before its own tick, and while a burst plan is live it
+    /// cannot issue before the plan's end either — plans survive
+    /// enqueues unconditionally. A stall memo offers no such cover (the
+    /// enqueue voids it and the freed controller may issue immediately),
+    /// so the bound deliberately ignores `stall_until`. The eject-batch
+    /// deferral (DESIGN.md §4l) caps windows with this: a staged or
+    /// still-buffered arrival bounds the window instead of punching it.
+    pub fn arrival_bound(&self, at: Cycle) -> Cycle {
+        at.max(self.plan_until)
+            .saturating_add(self.min_completion_latency())
     }
 
     fn integrate_blp(&mut self, now: Cycle) {

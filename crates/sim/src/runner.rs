@@ -40,6 +40,11 @@ pub struct Runner {
     /// it off is only useful for the eager-oracle equivalence tests and
     /// per-tick production baselines.
     pub ack_batching: bool,
+    /// Timestamped eject batching (see
+    /// [`Simulator::set_eject_batching`]). On by default; results are
+    /// bit-identical either way, so turning it off is only useful for
+    /// the eager-oracle equivalence tests and per-eject baselines.
+    pub eject_batching: bool,
     /// Shard width for the per-cycle memory stage (`None` keeps the
     /// simulator's default: `PIMSIM_THREADS` if set, else serial).
     /// Results are bit-identical at every width; see
@@ -58,6 +63,7 @@ impl Runner {
             fast_forward: true,
             event_delivery: true,
             ack_batching: true,
+            eject_batching: true,
             memory_threads: None,
         }
     }
@@ -82,6 +88,7 @@ impl Runner {
         sim.set_fast_forward(self.fast_forward);
         sim.set_event_delivery(self.event_delivery);
         sim.set_ack_batching(self.ack_batching);
+        sim.set_eject_batching(self.eject_batching);
         if let Some(threads) = self.memory_threads {
             sim.set_memory_threads(threads);
         }

@@ -125,6 +125,9 @@ pub struct Simulator {
     /// Retire-time ack batching (on by default; see
     /// [`Simulator::set_ack_batching`]).
     ack_batching: bool,
+    /// Timestamped eject batching (on by default; see
+    /// [`Simulator::set_eject_batching`]).
+    eject_batching: bool,
     /// Number of idle-span jumps taken.
     skips: u64,
     /// GPU cycles covered by those jumps (not stepped one by one).
@@ -160,6 +163,7 @@ impl Simulator {
             fast_forward: true,
             event_delivery: true,
             ack_batching: true,
+            eject_batching: true,
             skips: 0,
             skipped_cycles: 0,
             stage_ticks: StageTicks::default(),
@@ -258,12 +262,36 @@ impl Simulator {
         self.ack_batching
     }
 
+    /// Enables or disables timestamped eject batching (on by default).
+    /// With it on, whole request-crossbar arbitration cycles are
+    /// deferred while every buffered flit is PIM, no input lane is full,
+    /// and every destination lane has provable credit; at the next flush
+    /// the deferred cycles replay in order and each grant lands in its
+    /// partition's staged-ingress schedule, timestamped with the grant
+    /// cycle, instead of forcing an eager per-eject catch-up
+    /// (DESIGN.md §4l). With it off, the crossbar arbitrates every
+    /// stepped cycle — the eager oracle. Both modes produce bit-identical
+    /// observables (cycle counts, McStats, goldens); only the step mix's
+    /// tick counters differ.
+    pub fn set_eject_batching(&mut self, on: bool) {
+        self.eject_batching = on;
+        self.request_net.set_batched(on);
+    }
+
+    /// Whether timestamped eject batching is enabled.
+    pub fn eject_batching(&self) -> bool {
+        self.eject_batching
+    }
+
     /// Replays any deferred memory-stage production up to the current
     /// DRAM service point. Must run before stats are harvested or
     /// partitions are inspected out of band — the run loop calls it on
     /// both exits so end-of-run observers never see a partition whose
     /// deferred span is unaccounted.
     pub(crate) fn sync_memory(&mut self) {
+        // Deferred arbitration cycles stage their ejections first so the
+        // catch-up replay delivers them at their exact arrival cycles.
+        self.request_net.flush_into(&mut self.memory);
         self.memory.catch_up_to(self.clock.dram_now());
     }
 
@@ -351,9 +379,10 @@ impl Simulator {
         &self.cfg
     }
 
-    /// Total flits buffered in the request network's input queues.
+    /// Total flits in flight on the request path: buffered in the
+    /// crossbar's input queues plus staged-but-undelivered ejections.
     pub fn request_noc_occupancy(&self) -> usize {
-        self.request_net.occupancy()
+        self.request_net.occupancy(&self.memory)
     }
 
     /// Request-network counters.
@@ -388,8 +417,27 @@ impl Simulator {
         Self::lap(&mut mark, &mut prof, |p| &mut p.issue_ns);
 
         // 2. Request network ejects into partition ingress ports.
-        self.request_net.step(now, &mut self.memory);
-        self.stage_ticks.request_net += 1;
+        // Timestamped eject batching: while every buffered flit is PIM,
+        // no input lane is full, and every destination lane has provable
+        // credit, this cycle's arbitration is recorded instead of run —
+        // it replays bit-identically at the next flush (before any live
+        // memory step, so ejections always land in arrival order), with
+        // each grant deposited into its partition's staged-ingress
+        // schedule rather than through the per-eject catch-up path.
+        // Deferred cycles do not count as request-net ticks: that
+        // asymmetry is the measured win (the `ticks_request_net` gate).
+        if self.eject_batching
+            && self
+                .request_net
+                .try_defer_cycle(now, self.clock.dram_now(), &mut self.memory)
+        {
+            // Recorded for replay; nothing runs this cycle.
+        } else {
+            self.request_net.flush_into(&mut self.memory);
+            self.request_net
+                .step_live(now, self.clock.dram_now(), &mut self.memory);
+            self.stage_ticks.request_net += 1;
+        }
         Self::lap(&mut mark, &mut prof, |p| &mut p.request_net_ns);
 
         // 3+4. The memory stage's whole cycle: L2 front halves (GPU
@@ -411,9 +459,29 @@ impl Simulator {
         // could have surfaced inside the window. Deferred cycles do not
         // count as memory-stage ticks: that asymmetry *is* the measured
         // win (the `ticks_memory` gate).
-        if self.ack_batching && self.memory.can_defer_through(first_dram + dram_ticks) {
+        // Arbitration cycles still deferred on the request side carry
+        // only PIM flits (a buffered MEM flit refuses the request-side
+        // defer and the cycle steps live), and PIM acks are pulled by
+        // the delivery stage after replay — so in-flight deferred
+        // arrivals never bound the memory window.
+        let dram_end = first_dram + dram_ticks;
+        let deferrable = self.ack_batching
+            && (self.memory.can_defer_through(dram_end) || {
+                // Second chance: a refusal from a *lagging* partition
+                // reflects a horizon frozen at its last sync point,
+                // not the live schedule. Stage any deferred ejections
+                // (catch-up replays visits past their grant cycles),
+                // catch up just the refusing partitions, and
+                // re-check.
+                self.request_net.flush_into(&mut self.memory);
+                self.memory.refresh_lagging_through(dram_end)
+            });
+        if deferrable {
             self.memory.defer_cycle(now, first_dram, dram_ticks);
         } else {
+            // Stage any deferred ejections first: the live step must see
+            // every arrival the eager schedule would have delivered.
+            self.request_net.flush_into(&mut self.memory);
             self.memory
                 .step_cycle_all(now, first_dram, dram_ticks, &self.mapper);
             self.stage_ticks.memory += 1;
@@ -444,6 +512,10 @@ impl Simulator {
             // span above ended at `dram_now() - 1`), so that is the drain
             // limit. Eager production pops each completion on its own
             // tick with the same bound, so both modes drain identically.
+            // Production is pull-driven: the drain replays lagging
+            // partitions first, so deferred ejections must be staged
+            // like at every other catch-up entry point.
+            self.request_net.flush_into(&mut self.memory);
             let ack_limit = self.clock.dram_now().saturating_sub(1);
             self.completion.collect_acks(
                 &mut self.memory,
@@ -464,6 +536,11 @@ impl Simulator {
         let reply_active =
             !self.event_delivery || self.memory.replies_pending() || self.reply_net.has_traffic();
         if reply_active {
+            // The reply network pops partition wires through
+            // `partition_mut`, whose catch-up replays deferred memory
+            // visits; deferred ejections must be staged first or the
+            // replay would run those visits without their arrivals.
+            self.request_net.flush_into(&mut self.memory);
             let mut delivered = self.completion.begin_replies();
             self.reply_net.step(
                 now,
@@ -533,10 +610,11 @@ impl Simulator {
         if !self.completion.inflight().is_empty() {
             return false;
         }
-        // The reply horizon folds in replies queued in partition wires
-        // but not yet injected — the bare crossbar probe under-reports
-        // those once delivery is event-driven.
-        if self.request_net.next_activity_cycle(now).is_some()
+        // Both horizons fold in work parked outside the bare crossbars:
+        // replies queued in partition wires but not yet injected, and
+        // request-side ejections staged in partition schedules (or whole
+        // arbitration cycles awaiting replay) but not yet delivered.
+        if self.request_net.horizon(now, &self.memory).is_some()
             || self.reply_net.horizon(now, &self.memory).is_some()
         {
             return false;

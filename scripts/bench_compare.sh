@@ -4,17 +4,21 @@
 # run), each run itself best-of-M reps inside the binary (HOTLOOP_REPS).
 # Alternating exposes both binaries to the same slow drift in background
 # host load; best-of-M inside each run shields against per-run scheduler
-# hiccups. Reports every per-run rate, the medians, and best-vs-best for
-# the chosen scenario's fast-forward-on rate.
+# hiccups. Reports every per-run rate, the medians, and best-vs-best of
+# the fast-forward-on rate for each requested scenario.
 #
 # Usage:
-#   scripts/bench_compare.sh BASELINE_BIN CANDIDATE_BIN [scenario] [pairs] [reps]
+#   scripts/bench_compare.sh BASELINE_BIN CANDIDATE_BIN [scenarios] [pairs] [reps]
 #
 #   BASELINE_BIN / CANDIDATE_BIN  prebuilt hotloop binaries (e.g. the
 #                                 candidate from target/release/hotloop and
 #                                 a baseline built from an earlier commit
 #                                 in a scratch worktree)
-#   scenario                      hotloop scenario name (default standalone_pim)
+#   scenarios                     comma-separated hotloop scenario names
+#                                 (default standalone_pim). Every run
+#                                 executes all scenarios anyway, so extra
+#                                 names cost nothing — the rates are pulled
+#                                 from the same JSON.
 #   pairs                         alternating A/B pairs, N (default 5)
 #   reps                          best-of reps per run, M (default 3)
 #
@@ -23,14 +27,15 @@
 set -euo pipefail
 
 if [ $# -lt 2 ]; then
-  echo "usage: $0 BASELINE_BIN CANDIDATE_BIN [scenario] [pairs] [reps]" >&2
+  echo "usage: $0 BASELINE_BIN CANDIDATE_BIN [scenarios] [pairs] [reps]" >&2
   exit 2
 fi
 A_BIN=$1
 B_BIN=$2
-SCENARIO=${3:-standalone_pim}
+SCENARIOS=${3:-standalone_pim}
 PAIRS=${4:-5}
 REPS=${5:-3}
+IFS=',' read -r -a SCENARIO_LIST <<<"$SCENARIOS"
 
 for bin in "$A_BIN" "$B_BIN"; do
   if [ ! -x "$bin" ]; then
@@ -66,35 +71,41 @@ best_of() { # best_of <rates...>
 }
 
 run_one() { # run_one <bin> <out-json>
-  HOTLOOP_REPS=$REPS HOTLOOP_FLOOR=0 HOTLOOP_OUT=$2 "$1" >/dev/null
+  HOTLOOP_REPS=$REPS HOTLOOP_FLOOR=0 HOTLOOP_FF_GATE=0 HOTLOOP_OUT=$2 "$1" >/dev/null
 }
 
-A_RATES=()
-B_RATES=()
-echo "interleaving $PAIRS pairs of best-of-$REPS runs, scenario $SCENARIO"
+echo "interleaving $PAIRS pairs of best-of-$REPS runs, scenarios: ${SCENARIO_LIST[*]}"
 for i in $(seq 1 "$PAIRS"); do
   run_one "$A_BIN" "$TMPDIR_CMP/a_$i.json"
-  a=$(rate_of "$TMPDIR_CMP/a_$i.json" "$SCENARIO")
   run_one "$B_BIN" "$TMPDIR_CMP/b_$i.json"
-  b=$(rate_of "$TMPDIR_CMP/b_$i.json" "$SCENARIO")
-  if [ -z "$a" ] || [ -z "$b" ]; then
-    echo "pair $i: scenario '$SCENARIO' not found in one of the outputs" >&2
-    exit 1
-  fi
-  A_RATES+=("$a")
-  B_RATES+=("$b")
-  echo "  pair $i: baseline ${a}/s   candidate ${b}/s"
+  line="  pair $i:"
+  for sc in "${SCENARIO_LIST[@]}"; do
+    a=$(rate_of "$TMPDIR_CMP/a_$i.json" "$sc")
+    b=$(rate_of "$TMPDIR_CMP/b_$i.json" "$sc")
+    if [ -z "$a" ] || [ -z "$b" ]; then
+      echo "pair $i: scenario '$sc' not found in one of the outputs" >&2
+      exit 1
+    fi
+    printf '%s\n' "$a" >>"$TMPDIR_CMP/rates_a_$sc"
+    printf '%s\n' "$b" >>"$TMPDIR_CMP/rates_b_$sc"
+    line="$line  $sc ${a}/s vs ${b}/s"
+  done
+  echo "$line"
 done
 
-A_MED=$(median_of "${A_RATES[@]}")
-B_MED=$(median_of "${B_RATES[@]}")
-A_BEST=$(best_of "${A_RATES[@]}")
-B_BEST=$(best_of "${B_RATES[@]}")
-
-echo
-echo "baseline : rates [${A_RATES[*]}]  median $A_MED  best $A_BEST"
-echo "candidate: rates [${B_RATES[*]}]  median $B_MED  best $B_BEST"
-awk -v am="$A_MED" -v bm="$B_MED" -v ab="$A_BEST" -v bb="$B_BEST" 'BEGIN {
-  printf "speedup (candidate/baseline): median %.3fx   best-vs-best %.3fx\n",
-    bm / am, bb / ab
-}'
+for sc in "${SCENARIO_LIST[@]}"; do
+  mapfile -t A_RATES <"$TMPDIR_CMP/rates_a_$sc"
+  mapfile -t B_RATES <"$TMPDIR_CMP/rates_b_$sc"
+  A_MED=$(median_of "${A_RATES[@]}")
+  B_MED=$(median_of "${B_RATES[@]}")
+  A_BEST=$(best_of "${A_RATES[@]}")
+  B_BEST=$(best_of "${B_RATES[@]}")
+  echo
+  echo "scenario $sc"
+  echo "  baseline : rates [${A_RATES[*]}]  median $A_MED  best $A_BEST"
+  echo "  candidate: rates [${B_RATES[*]}]  median $B_MED  best $B_BEST"
+  awk -v am="$A_MED" -v bm="$B_MED" -v ab="$A_BEST" -v bb="$B_BEST" 'BEGIN {
+    printf "  speedup (candidate/baseline): median %.3fx   best-vs-best %.3fx\n",
+      bm / am, bb / ab
+  }'
+done

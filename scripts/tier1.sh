@@ -36,7 +36,9 @@ PIMSIM_THREADS=4 cargo test -q --release --test golden_pipeline --test parallel_
 # reachable from the CLI, and a short LP5X run must complete end to end —
 # the whole chain spec string → registry → SystemConfig → simulator.
 cargo test -q --release --test backend_registry
-cargo run -q --release -p pimsim-cli --bin pimsim -- list | grep -q "lp5x"
+# grep without -q: -q exits at the first match and closes the pipe,
+# which can panic the CLI mid-print with EPIPE depending on buffering.
+cargo run -q --release -p pimsim-cli --bin pimsim -- list | grep "lp5x" >/dev/null
 cargo run -q --release -p pimsim-cli --bin pimsim -- \
   standalone --pim P1 --dram lp5x:ranks=4 --scale 0.01 >/dev/null
 
